@@ -1,0 +1,47 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+experiment inside the ``benchmark`` fixture (so ``pytest benchmarks/
+--benchmark-only`` times the harness) and prints the same rows/series the
+paper reports, annotated with the paper's own numbers where they exist.
+Assertions check the *shape* — who wins, by roughly what factor, where the
+crossovers fall — not absolute values, since the substrate is a simulator
+rather than the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> None:
+    """Render one experiment's output as an aligned text table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(header.ljust(width)
+                     for header, width in zip(headers, widths))
+    print(f"\n=== {title} ===", file=sys.stderr)
+    print(line, file=sys.stderr)
+    print("-" * len(line), file=sys.stderr)
+    for row in materialized:
+        print("  ".join(cell.ljust(width)
+                        for cell, width in zip(row, widths)), file=sys.stderr)
+
+
+def run_once(benchmark, function):
+    """Execute ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, iterations=1, rounds=1)
+
+
+def print_result(result) -> None:
+    """Render an :class:`repro.experiments.ExperimentResult` to stderr."""
+    from repro.experiments import format_table
+
+    print(file=sys.stderr)
+    print(format_table(result), file=sys.stderr)

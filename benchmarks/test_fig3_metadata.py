@@ -1,0 +1,17 @@
+"""Figure 3 — metadata network traffic vs containers, flows and hosts.
+
+Paper: dumbbell topologies with (C containers, F flows) on 1–4 physical
+hosts, iPerf3 at 50 Mb/s through the shared link.  Metadata traffic is zero
+on one host (shared memory only), grows with the number of *hosts*, and is
+essentially flat in the number of *containers* — the decentralization
+claim.  Absolute volume stays in the hundreds of KB/s at (160, 80, 4).
+"""
+
+from conftest import print_result, run_once
+from repro.experiments import fig3
+
+
+def test_fig3_metadata_traffic(benchmark):
+    result = run_once(benchmark, fig3.run)
+    print_result(result)
+    result.assert_all()

@@ -1,0 +1,216 @@
+"""A Cassandra-like quorum-replicated store and a YCSB-like driver (§5.6).
+
+The paper's deployment: 4 replicas in Frankfurt, 4 in Sydney, replication
+factor 2, YCSB in Frankfurt issuing a 50/50 read/update mix with
+``R = ONE`` and ``W = QUORUM`` — every update must be acknowledged by a
+replica in Sydney, which is what pins the update latency to the
+inter-region round trip, while reads complete locally.
+
+Implementation: each key maps to ``replication_factor`` replicas chosen
+ring-style across the node list.  A coordinator (the replica the client
+contacts, always its nearest) fans out to the key's replicas and answers
+after ``R`` or ``W`` acknowledgements.  Replicas are single service queues;
+all messages are packets on the data plane.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.netstack.packet import Packet
+from repro.sim import Simulator
+
+__all__ = ["CassandraCluster", "YcsbClient", "YcsbStats"]
+
+_READ_REQUEST_BITS = 120 * 8.0
+_UPDATE_REQUEST_BITS = 1150 * 8.0
+_REPLICA_MESSAGE_BITS = 1150 * 8.0
+_ACK_BITS = 60 * 8.0
+_RESPONSE_BITS = 1100 * 8.0
+
+_operation_ids = itertools.count()
+
+
+def _shared_prefix(first: str, second: str) -> int:
+    """Length of the common prefix — the stand-in for Cassandra's snitch.
+
+    Topology generators name containers ``<prefix>-<region>-<index>``, so
+    two nodes in the same region share a longer prefix than nodes in
+    different regions.
+    """
+    count = 0
+    for a, b in zip(first, second):
+        if a != b:
+            break
+        count += 1
+    return count
+
+
+class _Replica:
+    """One Cassandra node: a service queue plus the local store."""
+
+    def __init__(self, sim: Simulator, name: str, service_time: float) -> None:
+        self.sim = sim
+        self.name = name
+        self.service_time = service_time
+        self._horizon = 0.0
+        self.operations = 0
+
+    def process(self, callback: Callable[[], None]) -> None:
+        start = max(self.sim.now, self._horizon)
+        self._horizon = start + self.service_time
+        self.operations += 1
+        self.sim.at(self._horizon, callback)
+
+
+class CassandraCluster:
+    """The replica set plus coordinator logic."""
+
+    def __init__(self, sim: Simulator, plane, replicas: Sequence[str], *,
+                 replication_factor: int = 2,
+                 write_consistency: int = 2, read_consistency: int = 1,
+                 service_time: float = 250e-6) -> None:
+        if replication_factor > len(replicas):
+            raise ValueError("replication factor exceeds replica count")
+        if write_consistency > replication_factor or \
+                read_consistency > replication_factor:
+            raise ValueError("consistency level exceeds replication factor")
+        self.sim = sim
+        self.plane = plane
+        self.replica_names = list(replicas)
+        self.replication_factor = replication_factor
+        self.write_consistency = write_consistency
+        self.read_consistency = read_consistency
+        self.replicas = {name: _Replica(sim, name, service_time)
+                         for name in replicas}
+
+    # ------------------------------------------------------------- placement
+    def replicas_for(self, key_hash: int) -> List[str]:
+        """Ring placement: RF consecutive nodes starting at the key's token.
+
+        The node list interleaves regions (as the paper's NetworkTopology
+        strategy does), so a replica set spans both datacenters.
+        """
+        start = key_hash % len(self.replica_names)
+        return [self.replica_names[(start + offset) % len(self.replica_names)]
+                for offset in range(self.replication_factor)]
+
+    # ----------------------------------------------------------- coordination
+    def execute(self, coordinator: str, operation: str, key_hash: int,
+                created: float, on_done: Callable[[float], None]) -> None:
+        """Run one read/update at ``coordinator``; ``on_done(latency)``."""
+        owners = self.replicas_for(key_hash)
+        needed = (self.write_consistency if operation == "update"
+                  else self.read_consistency)
+        state = {"acks": 0, "done": False}
+        if operation == "read":
+            # R = ONE: the coordinator asks the nearest owner (itself when
+            # it owns the key) and replies on first answer.  Nearness uses
+            # the snitch heuristic below — service names encode the
+            # datacenter (``cas-frankfurt-3``), so the longest shared
+            # prefix picks a same-region replica when one exists.
+            if coordinator in owners:
+                owners = [coordinator]
+            else:
+                owners = [max(owners,
+                              key=lambda owner: _shared_prefix(owner,
+                                                               coordinator))]
+            needed = 1
+
+        def on_ack(_packet: Optional[Packet] = None) -> None:
+            state["acks"] += 1
+            if state["acks"] >= needed and not state["done"]:
+                state["done"] = True
+                on_done(self.sim.now - created)
+
+        for owner in owners:
+            if owner == coordinator:
+                self.replicas[owner].process(on_ack)
+                continue
+            message = Packet(coordinator, owner, _REPLICA_MESSAGE_BITS
+                             if operation == "update" else _READ_REQUEST_BITS,
+                             kind="cassandra-replicate", created=created)
+
+            def at_owner(packet: Packet, owner=owner) -> None:
+                self.replicas[owner].process(
+                    lambda: self.plane.send(
+                        Packet(owner, coordinator, _ACK_BITS,
+                               kind="cassandra-ack", created=created),
+                        on_ack))
+
+            self.plane.send(message, at_owner)
+
+
+@dataclass
+class YcsbStats:
+    read_latencies: List[float] = field(default_factory=list)
+    update_latencies: List[float] = field(default_factory=list)
+    completed: int = 0
+
+    def throughput(self, duration: float) -> float:
+        return self.completed / duration if duration > 0 else 0.0
+
+    def all_latencies(self) -> List[float]:
+        return self.read_latencies + self.update_latencies
+
+
+class YcsbClient:
+    """Closed-loop YCSB driver: ``threads`` workers, 50/50 read/update."""
+
+    def __init__(self, sim: Simulator, plane, source: str,
+                 cluster: CassandraCluster, coordinator: str, *,
+                 threads: int = 8, read_fraction: float = 0.5,
+                 keyspace: int = 10_000, rng=None,
+                 start: float = 0.0, stop: float = float("inf")) -> None:
+        self.sim = sim
+        self.plane = plane
+        self.source = source
+        self.cluster = cluster
+        self.coordinator = coordinator
+        self.read_fraction = read_fraction
+        self.keyspace = keyspace
+        self.rng = rng
+        self.stop_time = stop
+        self.stats = YcsbStats()
+        for _ in range(threads):
+            self.sim.at(max(start, sim.now), self._issue)
+
+    def _issue(self) -> None:
+        if self.sim.now >= self.stop_time:
+            return
+        rng = self.rng
+        is_read = (rng.random() if rng else 0.5) < self.read_fraction
+        key_hash = rng.randrange(self.keyspace) if rng else 0
+        operation = "read" if is_read else "update"
+        created = self.sim.now
+        request = Packet(
+            self.source, self.coordinator,
+            _READ_REQUEST_BITS if is_read else _UPDATE_REQUEST_BITS,
+            kind="ycsb-request", created=created)
+
+        def at_coordinator(_packet: Packet) -> None:
+            self.cluster.execute(
+                self.coordinator, operation, key_hash, created,
+                lambda latency: self._respond(operation, created))
+
+        self.plane.send(request, at_coordinator,
+                        on_drop=lambda p: self.sim.after(0.1, self._issue))
+
+    def _respond(self, operation: str, created: float) -> None:
+        response = Packet(self.coordinator, self.source, _RESPONSE_BITS,
+                          kind="ycsb-response", created=created)
+        self.plane.send(
+            response,
+            lambda p: self._complete(operation, p),
+            on_drop=lambda p: self.sim.after(0.1, self._issue))
+
+    def _complete(self, operation: str, response: Packet) -> None:
+        latency = self.sim.now - response.created
+        if operation == "read":
+            self.stats.read_latencies.append(latency)
+        else:
+            self.stats.update_latencies.append(latency)
+        self.stats.completed += 1
+        self._issue()

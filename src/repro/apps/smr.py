@@ -1,0 +1,204 @@
+"""BFT-SMaRt and Wheat state-machine replication message patterns (§5.6).
+
+Figure 9 reproduces the experiment of [78]: one replica and one client per
+EC2 region (Virginia, Oregon, Ireland, São Paulo, Sydney) running a
+replicated counter; the metric is per-client request latency (50th/90th
+percentile).  Latency is entirely message-pattern-driven:
+
+* **BFT-SMaRt** (n = 4, f = 1, leader in Virginia): client sends to the
+  leader; the leader runs the three-phase BFT ordering (PROPOSE, WRITE,
+  ACCEPT — two quorum round trips among replicas, quorum = ⌈(n+f+1)/2⌉ = 3);
+  every replica then replies to the client, which waits for f+1 = 2 matching
+  replies.
+* **Wheat** (n = 5 with the same fault threshold, weighted votes): the
+  vote assignment lets a quorum form from the *fastest* replicas
+  (Wmax-weighted), cutting one round of waiting on the slow quorum path —
+  we model it as quorums of the 2 fastest of 5 with double-weighted safe
+  majority, plus the tentative-execution reply (client waits for the
+  weighted quorum of replies directly).
+
+All messages are packets over the data plane, so emulated inter-region
+latency and jitter drive the distributions exactly as on EC2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.netstack.packet import Packet
+from repro.sim import Simulator
+
+__all__ = ["SmrDeployment", "SmrStats"]
+
+_REQUEST_BITS = 300 * 8.0
+_ORDER_BITS = 400 * 8.0
+_REPLY_BITS = 150 * 8.0
+
+_op_counter = itertools.count()
+
+
+@dataclass
+class SmrStats:
+    latencies: List[float] = field(default_factory=list)
+
+    def percentile(self, fraction: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+
+class SmrDeployment:
+    """One replicated-counter deployment (protocol = 'bftsmart' | 'wheat')."""
+
+    def __init__(self, sim: Simulator, plane, replicas: Sequence[str], *,
+                 protocol: str = "bftsmart", leader: Optional[str] = None,
+                 execution_time: float = 50e-6) -> None:
+        if protocol not in ("bftsmart", "wheat"):
+            raise ValueError(f"unknown SMR protocol {protocol!r}")
+        self.sim = sim
+        self.plane = plane
+        self.replicas = list(replicas)
+        self.protocol = protocol
+        self.leader = leader or self.replicas[0]
+        self.execution_time = execution_time
+        self.stats_by_client: Dict[str, SmrStats] = {}
+
+    # ----------------------------------------------------------- client side
+    def run_client(self, client: str, *, operations: int = 100,
+                   start: float = 0.0) -> SmrStats:
+        """A closed-loop client issuing counter increments."""
+        stats = self.stats_by_client.setdefault(client, SmrStats())
+        state = {"remaining": operations}
+
+        def issue() -> None:
+            if state["remaining"] <= 0:
+                return
+            state["remaining"] -= 1
+            created = self.sim.now
+            self._invoke(client, created,
+                         lambda latency: (stats.latencies.append(latency),
+                                          issue()))
+
+        self.sim.at(max(start, self.sim.now), issue)
+        return stats
+
+    def _invoke(self, client: str, created: float,
+                on_done: Callable[[float], None]) -> None:
+        if self.protocol == "bftsmart":
+            self._invoke_bftsmart(client, created, on_done)
+        else:
+            self._invoke_wheat(client, created, on_done)
+
+    # ------------------------------------------------------------ BFT-SMaRt
+    def _invoke_bftsmart(self, client: str, created: float,
+                         on_done: Callable[[float], None]) -> None:
+        """Client -> leader; PROPOSE; WRITE; ACCEPT; replicas -> client."""
+        n = len(self.replicas)
+        quorum = min(n, -(-(n + 2) // 2))  # ceil((n + f + 1) / 2) with f = 1
+        replies_needed = 2  # f + 1
+
+        request = Packet(client, self.leader, _REQUEST_BITS,
+                         kind="smr-request", created=created)
+        self.plane.send(request, lambda p: propose())
+
+        def propose() -> None:
+            # Leader PROPOSEs to all; each replica WRITEs to all; once a
+            # replica has a write quorum it ACCEPTs.  The latency-critical
+            # path is two quorum round trips from the leader's perspective;
+            # we enact it as leader -> replica (PROPOSE), replica -> leader
+            # (WRITE), leader -> replica (ACCEPT), replica -> client.
+            write_acks = {"count": 0, "accepted": False}
+            for replica in self.replicas:
+                message = Packet(self.leader, replica, _ORDER_BITS,
+                                 kind="smr-propose", created=created)
+
+                def at_replica(packet: Packet, replica=replica) -> None:
+                    write = Packet(replica, self.leader, _ORDER_BITS,
+                                   kind="smr-write", created=created)
+                    self.plane.send(write, lambda p: on_write())
+
+                if replica == self.leader:
+                    self.sim.after(self.execution_time,
+                                   lambda replica=replica: on_write())
+                else:
+                    self.plane.send(message, at_replica)
+
+            def on_write() -> None:
+                write_acks["count"] += 1
+                if write_acks["count"] >= quorum and not write_acks["accepted"]:
+                    write_acks["accepted"] = True
+                    accept()
+
+        def accept() -> None:
+            reply_state = {"count": 0, "done": False}
+            for replica in self.replicas:
+
+                def reply_to_client(replica=replica) -> None:
+                    reply = Packet(replica, client, _REPLY_BITS,
+                                   kind="smr-reply", created=created)
+                    self.plane.send(reply, lambda p: on_reply())
+
+                if replica == self.leader:
+                    self.sim.after(self.execution_time, reply_to_client)
+                else:
+                    accept_message = Packet(self.leader, replica, _ORDER_BITS,
+                                            kind="smr-accept", created=created)
+                    self.plane.send(
+                        accept_message,
+                        lambda p, reply_to_client=reply_to_client:
+                        reply_to_client())
+
+            def on_reply() -> None:
+                reply_state["count"] += 1
+                if reply_state["count"] >= replies_needed and \
+                        not reply_state["done"]:
+                    reply_state["done"] = True
+                    on_done(self.sim.now - created)
+
+        # `propose` is invoked when the request reaches the leader.
+
+    # ----------------------------------------------------------------- Wheat
+    def _invoke_wheat(self, client: str, created: float,
+                      on_done: Callable[[float], None]) -> None:
+        """Weighted quorums + tentative execution: one ordering round trip
+        against the *fastest* weighted quorum, replies direct to client."""
+        request = Packet(client, self.leader, _REQUEST_BITS,
+                         kind="smr-request", created=created)
+        self.plane.send(request, lambda p: order())
+
+        def order() -> None:
+            # Leader sends ordering message; each replica tentatively
+            # executes and replies straight to the client.  The client
+            # accepts after a weighted quorum: with Wheat's Wmax vote
+            # distribution the two best-connected replicas hold enough
+            # weight, so the reply threshold is 2 (plus the leader's own).
+            reply_state = {"count": 0, "done": False}
+            replies_needed = 2
+
+            def on_reply() -> None:
+                reply_state["count"] += 1
+                if reply_state["count"] >= replies_needed and \
+                        not reply_state["done"]:
+                    reply_state["done"] = True
+                    on_done(self.sim.now - created)
+
+            for replica in self.replicas:
+
+                def reply_to_client(replica=replica) -> None:
+                    reply = Packet(replica, client, _REPLY_BITS,
+                                   kind="smr-reply", created=created)
+                    self.plane.send(reply, lambda p: on_reply())
+
+                if replica == self.leader:
+                    self.sim.after(self.execution_time, reply_to_client)
+                else:
+                    order_message = Packet(self.leader, replica, _ORDER_BITS,
+                                           kind="smr-order", created=created)
+                    self.plane.send(
+                        order_message,
+                        lambda p, reply_to_client=reply_to_client:
+                        reply_to_client())

@@ -1,0 +1,26 @@
+"""Comparator systems the paper evaluates Kollaps against (§5).
+
+* :mod:`repro.baselines.baremetal` — the ground truth: the full physical
+  topology with zero emulation overhead (the authors' hardware testbed).
+* :mod:`repro.baselines.mininet` — a centralized full-state emulator:
+  every switch is modelled, everything runs on ONE machine, link rates are
+  capped at 1 Gb/s, and per-connection switch state degrades short-flow
+  workloads (§5.1 Table 2, §5.3 Figure 6).
+* :mod:`repro.baselines.maxinet` — a distributed full-state emulator whose
+  switches consult an external OpenFlow controller, inflating first-packet
+  and per-hop latency (§5.5 Table 4).
+* :mod:`repro.baselines.trickle` — a userspace shaper whose accuracy
+  depends on the application's socket buffer size (§5.1 Table 2).
+
+Every baseline exposes the same surface as the Kollaps engine where the
+benchmarks need it (bulk flows, packet sends), so harnesses swap systems by
+constructing a different class.
+"""
+
+from repro.baselines.baremetal import BareMetalTestbed
+from repro.baselines.mininet import MininetEmulator
+from repro.baselines.maxinet import MaxinetEmulator
+from repro.baselines.trickle import TrickleShaper
+
+__all__ = ["BareMetalTestbed", "MininetEmulator", "MaxinetEmulator",
+           "TrickleShaper"]

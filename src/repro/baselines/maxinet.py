@@ -1,0 +1,152 @@
+"""A Maxinet-like distributed full-state emulator with external controller.
+
+Maxinet spreads Mininet workers across machines, tunnelling inter-worker
+links, and its emulated switches consult an external OpenFlow controller
+(POX in the paper's best configuration).  The error signature Table 4
+measures comes from:
+
+* **controller round trips** — a switch seeing a flow it has no rule for
+  punts the packet to the controller (tens of milliseconds with POX) before
+  forwarding; rules age out, so long experiments keep paying this price,
+* **tunnelling overhead** — packets crossing workers pay an encapsulation
+  and physical-hop cost on every traversal,
+* **controller load** — one controller serves many switches; its service
+  queue adds latency that grows with topology size.
+
+The paper reports RTT deviations of up to 11 ms (1000 elements) and 40 ms
+(2000) against theoretical values — an order above Kollaps — and gives up
+at 4000.  The defaults below are calibrated to that regime via the causes
+above (rule timeout, POX service time), not fitted per-experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.netstack.fluid import FluidEngine, FluidFlow, GroundTruthConstraints
+from repro.netstack.fullnet import FullStateNetwork, SwitchModel
+from repro.netstack.packet import Packet
+from repro.sim import RngRegistry, Simulator
+from repro.topology.model import Topology
+
+__all__ = ["MaxinetEmulator", "ControllerModel"]
+
+
+class ControllerModel:
+    """The external OpenFlow controller: a shared single server."""
+
+    def __init__(self, sim: Simulator, *, service_time: float = 1.2e-3,
+                 base_rtt: float = 4e-3, rule_timeout: float = 0.04) -> None:
+        """``rule_timeout`` is the flow-rule lifetime.  POX installs rules
+        with a 10 s idle timeout; experiment time here is compressed about
+        two orders of magnitude against the paper's 10-minute runs, so the
+        default scales the timeout accordingly — each probe keeps paying
+        controller round trips at steady state, which is the deviation
+        signature Table 4 measures."""
+        self.sim = sim
+        self.service_time = service_time
+        self.base_rtt = base_rtt
+        self.rule_timeout = rule_timeout
+        self._horizon = 0.0
+        self._rules: Dict[Tuple[str, Hashable], float] = {}
+        self.packet_ins = 0
+
+    def consult(self, switch: str, flow_key: Hashable) -> float:
+        """Delay added to a packet at ``switch`` for ``flow_key``.
+
+        Zero when a fresh rule exists; otherwise a controller round trip
+        (queueing at the shared controller included) installs one.
+        """
+        now = self.sim.now
+        expiry = self._rules.get((switch, flow_key))
+        if expiry is not None and expiry > now:
+            return 0.0
+        self.packet_ins += 1
+        start = max(now, self._horizon)
+        self._horizon = start + self.service_time
+        delay = (start - now) + self.service_time + self.base_rtt
+        self._rules[(switch, flow_key)] = now + delay + self.rule_timeout
+        return delay
+
+
+class MaxinetEmulator:
+    """Distributed full-state emulation across ``workers`` machines."""
+
+    def __init__(self, topology: Topology, *, workers: int = 4, seed: int = 0,
+                 fluid_dt: float = 0.010,
+                 tunnel_delay: float = 120e-6,
+                 controller: Optional[ControllerModel] = None) -> None:
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.topology = topology
+        self.workers = workers
+        self.tunnel_delay = tunnel_delay
+        self.controller = controller or ControllerModel(self.sim)
+        # Workers partition the switches; a link whose endpoints live on
+        # different workers is tunnelled.  Partitioning is hash-based, as
+        # Maxinet's default placement effectively is for generated graphs.
+        self._worker_of = {}
+        for index, bridge in enumerate(sorted(topology.bridges)):
+            self._worker_of[bridge] = index % workers
+
+        emulator = self
+
+        class _MaxinetSwitch(SwitchModel):
+            def __init__(self, name: str) -> None:
+                super().__init__(forward_delay=30e-6)
+                self.name = name
+
+            def processing_delay(self, now: float, connection_key) -> float:
+                delay = super().processing_delay(now, connection_key)
+                delay += emulator.controller.consult(self.name, connection_key)
+                return delay
+
+        self.network = FullStateNetwork(
+            self.sim, topology, rng=self.rng,
+            switch_model_factory=lambda name: _MaxinetSwitch(name))
+        self.constraints = GroundTruthConstraints(
+            topology, packet_rate=self.network.packet_rate)
+        self.fluid = FluidEngine(self.sim, self.constraints, dt=fluid_dt,
+                                 rng=self.rng)
+        self.network.set_background_load(self.fluid.link_rate)
+        self.network.start_usage_monitor()
+        self.dataplane = self
+
+    # --------------------------------------------------------- packet plane
+    def reachable(self, source: str, destination: str) -> bool:
+        return self.network.reachable(source, destination)
+
+    def send(self, packet: Packet, deliver, *, on_drop=None) -> None:
+        """Forward with tunnelling delay added per cross-worker hop."""
+        route_nodes = self.network._route_nodes.get(
+            (packet.source, packet.destination))
+        extra = 0.0
+        if route_nodes is not None:
+            bridges = [node for node in route_nodes
+                       if node in self._worker_of]
+            for first, second in zip(bridges, bridges[1:]):
+                if self._worker_of[first] != self._worker_of[second]:
+                    extra += self.tunnel_delay
+
+        def tunnelled_deliver(delivered_packet: Packet) -> None:
+            if extra > 0.0:
+                self.sim.after(extra, lambda: deliver(delivered_packet))
+            else:
+                deliver(delivered_packet)
+
+        self.network.send(packet, tunnelled_deliver, on_drop=on_drop)
+
+    # ------------------------------------------------------------ bulk plane
+    def start_flow(self, key: Hashable, source: str, destination: str, *,
+                   protocol: str = "tcp", congestion_control: str = "cubic",
+                   demand: float = float("inf"),
+                   size_bits: Optional[float] = None,
+                   start_time: float = 0.0) -> FluidFlow:
+        flow = FluidFlow(key, source, destination, protocol=protocol,
+                         congestion_control=congestion_control, demand=demand,
+                         size_bits=size_bits, start_time=start_time)
+        return self.fluid.add_flow(flow)
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)

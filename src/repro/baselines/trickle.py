@@ -1,0 +1,72 @@
+"""A Trickle-like userspace bandwidth shaper.
+
+Trickle interposes on the sockets API via dynamic linking and meters
+``send()`` calls in userspace (§2).  Because it only observes whole socket
+writes, the unit it can delay is one application send-buffer: while TCP
+keeps the buffer full, every blocking interval lets one extra buffer slip
+through un-metered.  With iPerf3's default 128 KB buffer the achieved rate
+roughly *doubles* (Table 2: +104 %, +184 %, +95 %, +85 %, +67 % across
+rows, erratically, as the buffer/quantum phase alignment varies); after
+tuning iPerf3 to small buffers the paper measured ≈ +2 % across the board.
+
+Model: one un-metered buffer escapes per buffer-drain interval, so the
+overshoot equals the target rate itself, modulated by a deterministic
+phase factor in [0.4, 1.0] (hash of the target rate — reproducing the
+erratic-but-repeatable row-to-row variation); small buffers shrink the
+escape to a residual ~+2 %.  The physical link clamps everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["TrickleShaper", "TRICKLE_DEFAULT_BUFFER_BYTES",
+           "TRICKLE_TUNED_BUFFER_BYTES"]
+
+TRICKLE_DEFAULT_BUFFER_BYTES = 128 * 1024  # iPerf3 default socket buffer
+TRICKLE_TUNED_BUFFER_BYTES = 8 * 1024      # after the paper's tuning
+
+# Userspace metering cannot see writes smaller than this fraction of its
+# scheduling quantum; buffers below the threshold are metered accurately.
+_ACCURATE_BUFFER_BITS = 16 * 1024 * 8
+
+
+def _phase_factor(rate: float) -> float:
+    """Deterministic pseudo-phase in [0.4, 1.0] for a given target rate.
+
+    The real system's overshoot depends on how the buffer-drain period
+    happens to align with trickle's scheduler tick — effectively arbitrary
+    per rate but stable across runs, which a seeded hash reproduces.
+    """
+    digest = hashlib.sha256(f"trickle:{rate:.0f}".encode()).digest()
+    unit = digest[0] / 255.0
+    return 0.4 + 0.6 * unit
+
+
+class TrickleShaper:
+    """Userspace rate limiting with send-buffer-granularity error."""
+
+    def __init__(self, target_rate: float, *,
+                 send_buffer_bytes: int = TRICKLE_DEFAULT_BUFFER_BYTES,
+                 link_rate: float = float("inf")) -> None:
+        if target_rate <= 0:
+            raise ValueError("target rate must be positive")
+        self.target_rate = target_rate
+        self.send_buffer_bits = send_buffer_bytes * 8.0
+        self.link_rate = link_rate
+
+    def achieved_rate(self) -> float:
+        """Long-run average rate a saturating sender obtains."""
+        if self.send_buffer_bits <= _ACCURATE_BUFFER_BITS:
+            # Small writes are individually meterable: residual ~+2 % from
+            # the final un-throttled write of each quantum.
+            achieved = self.target_rate * 1.02
+        else:
+            # One full buffer escapes per drain interval: overshoot of the
+            # order of the target itself, phase-modulated.
+            achieved = self.target_rate * (1.0 + _phase_factor(self.target_rate))
+        return min(achieved, self.link_rate)
+
+    def relative_error(self) -> float:
+        """(achieved - target) / target."""
+        return self.achieved_rate() / self.target_rate - 1.0

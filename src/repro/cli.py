@@ -1,0 +1,233 @@
+"""Command-line front end for the Kollaps reproduction.
+
+Subcommands mirror the real toolchain:
+
+``run``
+    Parse an experiment description, deploy it on the simulated cluster,
+    run the emulation, and report the dashboard plus per-flow throughput::
+
+        python -m repro.cli run experiment.yaml --machines 4 \
+            --duration 60 --flow c1:sv.0 --flow sv.0:sv.1:5Mbps
+
+``validate``
+    Parse and validate a description (and optional scenario) without
+    running anything; prints the collapsed end-to-end paths.
+
+``plan``
+    Emit the Docker-Compose / Kubernetes-manifest deployment document for
+    a description (the Deployment Generator's output, §4).
+
+``scenario``
+    Compile a THUNDERSTORM-style scenario script against a topology and
+    print the resulting primitive event schedule.
+
+``reproduce``
+    Run the paper's tables/figures and (re)write EXPERIMENTS.md — a thin
+    alias for ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.core import EmulationEngine, EngineConfig
+from repro.dashboard import Dashboard
+from repro.orchestration import DeploymentGenerator, render_plan
+from repro.topology import (
+    EventSchedule,
+    Topology,
+    compile_scenario,
+    parse_experiment_text,
+    parse_modelnet_xml,
+)
+from repro.units import format_rate, format_time, parse_rate
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_flow(spec: str):
+    parts = spec.split(":")
+    if len(parts) == 2:
+        return parts[0], parts[1], float("inf")
+    if len(parts) == 3:
+        return parts[0], parts[1], parse_rate(parts[2])
+    raise argparse.ArgumentTypeError(
+        f"flow must be src:dst or src:dst:rate, got {spec!r}")
+
+
+def _load_description(path: str) -> Tuple[Topology, EventSchedule]:
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith((".xml", ".modelnet")):
+        return parse_modelnet_xml(text)
+    return parse_experiment_text(text)
+
+
+def _add_description_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("experiment", help="topology description file "
+                        "(listing-style text, or Modelnet XML by suffix)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Kollaps reproduction toolchain")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run an emulation experiment")
+    _add_description_argument(run)
+    run.add_argument("--machines", type=int, default=1,
+                     help="physical machines in the simulated cluster")
+    run.add_argument("--duration", type=float, default=30.0,
+                     help="simulated seconds to run")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--flow", action="append", type=_parse_flow,
+                     default=[], metavar="SRC:DST[:RATE]",
+                     help="bulk flow to start (repeatable)")
+    run.add_argument("--scenario", default=None,
+                     help="THUNDERSTORM scenario script applied on top of "
+                          "the description's own dynamic events")
+    run.add_argument("--snapshot-every", type=float, default=0.0,
+                     help="render the dashboard every N simulated seconds")
+
+    validate = commands.add_parser(
+        "validate", help="check a description (and scenario) parses")
+    _add_description_argument(validate)
+    validate.add_argument("--scenario", default=None)
+
+    plan = commands.add_parser(
+        "plan", help="emit the orchestrator deployment document")
+    _add_description_argument(plan)
+    plan.add_argument("--orchestrator", choices=("swarm", "kubernetes"),
+                      default="swarm")
+    plan.add_argument("--machines", type=int, default=1)
+
+    scenario = commands.add_parser(
+        "scenario", help="compile a scenario script to primitive events")
+    _add_description_argument(scenario)
+    scenario.add_argument("script", help="THUNDERSTORM scenario file")
+
+    reproduce = commands.add_parser(
+        "reproduce", help="reproduce the paper's tables/figures")
+    reproduce.add_argument("--only", nargs="+", metavar="EXP")
+    reproduce.add_argument("--quick", action="store_true")
+    reproduce.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    return parser
+
+
+# ------------------------------------------------------------- subcommands
+def _merge_scenario(topology: Topology, schedule: EventSchedule,
+                    scenario_path: Optional[str]) -> EventSchedule:
+    if scenario_path is None:
+        return schedule
+    with open(scenario_path, encoding="utf-8") as handle:
+        compiled = compile_scenario(handle.read(), topology)
+    merged = EventSchedule(list(schedule) + list(compiled))
+    return merged
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    topology, schedule = _load_description(args.experiment)
+    schedule = _merge_scenario(topology, schedule, args.scenario)
+    engine = EmulationEngine(
+        topology, schedule,
+        config=EngineConfig(machines=args.machines, seed=args.seed))
+    dashboard = Dashboard(engine)
+
+    for source, destination, rate in args.flow:
+        engine.start_flow(f"{source}->{destination}", source, destination,
+                          demand=rate)
+    if args.snapshot_every > 0:
+        from repro.sim import Process
+        Process(engine.sim, args.snapshot_every,
+                lambda: print(dashboard.render_flows(), file=sys.stderr),
+                start_after=args.snapshot_every)
+
+    engine.run(until=args.duration)
+
+    print(dashboard.render())
+    for source, destination, _rate in args.flow:
+        key = f"{source}->{destination}"
+        mean = engine.fluid.mean_throughput(key, args.duration * 0.3,
+                                            args.duration)
+        print(f"flow {key}: {format_rate(mean)} mean")
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    topology, schedule = _load_description(args.experiment)
+    topology.validate()
+    schedule = _merge_scenario(topology, schedule, args.scenario)
+    from repro.core import collapse
+
+    collapsed = collapse(topology)
+    print(f"{topology.describe()}")
+    print(f"dynamic events: {len(schedule)}")
+    for path in collapsed.paths():
+        properties = path.properties
+        print(f"  {path.source} -> {path.destination}: "
+              f"{format_rate(properties.bandwidth)}, "
+              f"{format_time(properties.latency)}"
+              + (f", loss {properties.loss:.2%}" if properties.loss else ""))
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    topology, _schedule = _load_description(args.experiment)
+    generator = DeploymentGenerator(topology)
+    machines = [f"host-{index}" for index in range(args.machines)]
+    plan = (generator.swarm_plan(machines)
+            if args.orchestrator == "swarm"
+            else generator.kubernetes_plan(machines))
+    print(f"# deployment plan ({plan.orchestrator}), "
+          f"bootstrapper={'yes' if plan.needs_bootstrapper else 'no'}")
+    for container, machine in sorted(plan.placement.items()):
+        print(f"#   {container} -> {machine}")
+    print(render_plan(plan), end="")
+    return 0
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    topology, _schedule = _load_description(args.experiment)
+    with open(args.script, encoding="utf-8") as handle:
+        schedule = compile_scenario(handle.read(), topology)
+    for event in schedule:
+        target = (event.name if event.name is not None
+                  else f"{event.origin}->{event.destination}")
+        details = ""
+        if event.changes:
+            details = " " + " ".join(f"{key}={value:g}"
+                                     for key, value in event.changes.items())
+        elif event.properties is not None:
+            details = f" [{event.properties.describe()}]"
+        print(f"t={event.time:<8g} {event.action.value:<10} {target}{details}")
+    print(f"# {len(schedule)} primitive events", file=sys.stderr)
+    return 0
+
+
+def _command_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    argv: List[str] = ["-o", args.output]
+    if args.quick:
+        argv.append("--quick")
+    if args.only:
+        argv.extend(["--only", *args.only])
+    return experiments_main(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "validate": _command_validate,
+        "plan": _command_plan,
+        "scenario": _command_scenario,
+        "reproduce": _command_reproduce,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

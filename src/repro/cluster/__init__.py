@@ -1,0 +1,11 @@
+"""The simulated physical cluster Kollaps runs on.
+
+The paper's testbed is five Dell R630 servers behind a 40 GbE switch; here
+a :class:`Cluster` is a set of named :class:`Machine` objects joined by a
+uniform low-latency interconnect.  Containers are pinned to machines by a
+placement map produced in :mod:`repro.orchestration`.
+"""
+
+from repro.cluster.machines import Cluster, Machine
+
+__all__ = ["Cluster", "Machine"]

@@ -1,0 +1,50 @@
+"""The Kollaps core: collapsing, bandwidth sharing, congestion, engine.
+
+This package implements the paper's primary contribution (§3):
+
+* :mod:`repro.core.properties` — end-to-end property composition,
+* :mod:`repro.core.collapse` — network collapsing via all-pairs shortest
+  paths,
+* :mod:`repro.core.sharing` — the RTT-aware min-max bandwidth model with the
+  work-conserving maximization step,
+* :mod:`repro.core.congestion` — packet-loss injection proportional to
+  oversubscription,
+* :mod:`repro.core.emucore` / :mod:`repro.core.manager` /
+  :mod:`repro.core.engine` — Emulation Cores, Emulation Managers and the
+  distributed emulation loop,
+* :mod:`repro.core.dynamic` — offline pre-computation of dynamic graphs.
+"""
+
+from repro.core.properties import PathProperties, compose_path
+from repro.core.collapse import CollapsedPath, CollapsedTopology, collapse
+from repro.core.sharing import (
+    FlowDemand,
+    LinkUsage,
+    paper_two_step_shares,
+    rtt_aware_max_min,
+)
+from repro.core.congestion import combine_loss, congestion_loss
+from repro.core.dynamic import DynamicTopologyPlan, TopologyState
+from repro.core.emucore import EmulationCore
+from repro.core.engine import EmulationEngine, EngineConfig
+from repro.core.manager import EmulationManager
+
+__all__ = [
+    "PathProperties",
+    "compose_path",
+    "CollapsedPath",
+    "CollapsedTopology",
+    "collapse",
+    "FlowDemand",
+    "LinkUsage",
+    "rtt_aware_max_min",
+    "paper_two_step_shares",
+    "congestion_loss",
+    "combine_loss",
+    "DynamicTopologyPlan",
+    "TopologyState",
+    "EmulationEngine",
+    "EngineConfig",
+    "EmulationManager",
+    "EmulationCore",
+]

@@ -1,0 +1,195 @@
+"""Network collapsing: reduce a full topology to end-to-end virtual links.
+
+This is the paper's first key insight (§1, Figure 1): applications only
+observe emergent end-to-end properties, so the emulator can discard router
+and switch state entirely.  The collapse computes, for every ordered pair of
+containers, the shortest path through the declared bridges and records
+
+* the composed end-to-end properties (:class:`PathProperties`),
+* the identifiers of the constituent physical links — these are what the
+  bandwidth-sharing model later uses to detect flows competing on a shared
+  link even though the topology has been collapsed away.
+
+Shortest paths are computed with Dijkstra's algorithm [38] over link latency
+(ties broken by hop count, then lexicographic next-hop so that the collapse
+is deterministic across Emulation Managers without coordination — a
+requirement for the fully decentralized design).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.properties import PathProperties, compose_path
+from repro.topology.model import Link, Topology, TopologyError
+
+__all__ = ["CollapsedPath", "CollapsedTopology", "collapse"]
+
+
+@dataclass(frozen=True)
+class CollapsedPath:
+    """One virtual end-to-end link between two containers."""
+
+    source: str
+    destination: str
+    properties: PathProperties
+    link_ids: Tuple[int, ...]
+    node_path: Tuple[str, ...]
+
+    @property
+    def latency(self) -> float:
+        return self.properties.latency
+
+    @property
+    def bandwidth(self) -> float:
+        return self.properties.bandwidth
+
+
+class CollapsedTopology:
+    """All-pairs collapsed view of a topology at one instant."""
+
+    def __init__(self, topology: Topology,
+                 paths: Dict[Tuple[str, str], CollapsedPath]) -> None:
+        self.topology = topology
+        self._paths = paths
+
+    def path(self, source: str, destination: str) -> Optional[CollapsedPath]:
+        """The collapsed path, or ``None`` when unreachable."""
+        return self._paths.get((source, destination))
+
+    def require_path(self, source: str, destination: str) -> CollapsedPath:
+        path = self.path(source, destination)
+        if path is None:
+            raise TopologyError(f"no path from {source!r} to {destination!r}")
+        return path
+
+    def rtt(self, source: str, destination: str) -> float:
+        """Round-trip latency: forward plus reverse collapsed latency."""
+        forward = self.require_path(source, destination)
+        backward = self.require_path(destination, source)
+        return forward.latency + backward.latency
+
+    def paths(self) -> Iterable[CollapsedPath]:
+        return self._paths.values()
+
+    def pair_count(self) -> int:
+        return len(self._paths)
+
+    def reachable_from(self, source: str) -> List[str]:
+        return [dst for (src, dst) in self._paths if src == source]
+
+
+def collapse(topology: Topology, *,
+             sources: Optional[Sequence[str]] = None) -> CollapsedTopology:
+    """Collapse ``topology`` into end-to-end virtual links.
+
+    ``sources`` restricts the computation to paths originating at the given
+    containers — each Emulation Manager only computes the part of the
+    topology affecting its local containers (§3), which this parameter
+    models.  With the default, all ordered container pairs are computed.
+    """
+    graph = _service_graph(topology)
+    containers = topology.container_names()
+    container_service = {name: name.split(".")[0] for name in containers}
+    wanted_sources = list(sources) if sources is not None else containers
+
+    # One Dijkstra per *service* (containers of a service share paths).
+    needed_services = sorted({container_service[c] for c in wanted_sources
+                              if c in container_service})
+    service_paths: Dict[str, Dict[str, List[Link]]] = {
+        service: _dijkstra(graph, service) for service in needed_services}
+
+    paths: Dict[Tuple[str, str], CollapsedPath] = {}
+    for source in wanted_sources:
+        src_service = container_service.get(source)
+        if src_service is None:
+            continue
+        reachable = service_paths[src_service]
+        for destination in containers:
+            if destination == source:
+                continue
+            dst_service = container_service[destination]
+            if dst_service == src_service:
+                links = _intra_service_path(graph, src_service)
+                if links is None:
+                    continue
+            else:
+                links = reachable.get(dst_service)
+                if links is None:
+                    continue
+            node_path = (source,) + tuple(
+                link.destination for link in links[:-1]) + (destination,)
+            paths[(source, destination)] = CollapsedPath(
+                source=source,
+                destination=destination,
+                properties=compose_path([link.properties for link in links]),
+                link_ids=tuple(link.link_id for link in links),
+                node_path=node_path,
+            )
+    return CollapsedTopology(topology, paths)
+
+
+def _service_graph(topology: Topology) -> Dict[str, List[Link]]:
+    """Adjacency list over service and bridge names."""
+    graph: Dict[str, List[Link]] = {name: [] for name in topology.node_names()}
+    for link in topology.links():
+        if link.source in graph and link.destination in graph:
+            graph[link.source].append(link)
+    for edges in graph.values():
+        edges.sort(key=lambda link: link.destination)
+    return graph
+
+
+def _dijkstra(graph: Dict[str, List[Link]],
+              origin: str) -> Dict[str, List[Link]]:
+    """Latency-weighted shortest paths from ``origin`` to every node.
+
+    Ties are broken by hop count and then by the lexicographic order of the
+    traversed node names so every Emulation Manager independently derives an
+    identical collapse.
+    """
+    if origin not in graph:
+        return {}
+    # Priority: (latency, hops, path-of-node-names).
+    best: Dict[str, Tuple[float, int]] = {origin: (0.0, 0)}
+    chosen: Dict[str, List[Link]] = {origin: []}
+    done: set = set()
+    queue: List[Tuple[float, int, Tuple[str, ...], str]] = [
+        (0.0, 0, (origin,), origin)]
+    while queue:
+        latency, hops, names, node = heapq.heappop(queue)
+        if node in done:
+            continue
+        done.add(node)
+        for link in graph[node]:
+            neighbour = link.destination
+            if neighbour in done:
+                continue
+            candidate = (latency + link.properties.latency, hops + 1)
+            incumbent = best.get(neighbour)
+            if incumbent is None or candidate < incumbent:
+                best[neighbour] = candidate
+                chosen[neighbour] = chosen[node] + [link]
+                heapq.heappush(queue, (candidate[0], candidate[1],
+                                       names + (neighbour,), neighbour))
+    del chosen[origin]
+    return chosen
+
+
+def _intra_service_path(graph: Dict[str, List[Link]],
+                        service: str) -> Optional[List[Link]]:
+    """Path between two replicas of the same service.
+
+    Replicas attach to the network through the service's access link, so
+    traffic between them traverses that link out to the first bridge and
+    back — e.g. two ``sv`` replicas behind switch ``s2`` in Figure 1
+    communicate over ``sv -> s2 -> sv``.
+    """
+    for link in graph.get(service, []):
+        reverse = next((back for back in graph.get(link.destination, [])
+                        if back.destination == service), None)
+        if reverse is not None:
+            return [link, reverse]
+    return None

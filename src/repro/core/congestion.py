@@ -1,0 +1,45 @@
+"""Congestion-induced packet loss (§3, "Congestion").
+
+Linux's htb qdisc back-pressures senders instead of dropping packets (TCP
+Small Queues prevents queue build-up), so loss-sensitive congestion-control
+algorithms would never see losses under pure token-bucket shaping.  Kollaps
+therefore injects netem packet loss per flow, proportional to how far the
+requested bandwidth exceeds the available share.
+
+The model: when the rate a sender currently pushes (``demand``) exceeds the
+share it has been allocated (``share``), the excess fraction of its packets
+would have been dropped at the emulated bottleneck, so::
+
+    loss = max(0, 1 - share / demand)
+
+scaled by ``sensitivity`` (default 1.0) so that ablations can weaken the
+feedback.  The loss is applied on top of the path's intrinsic loss.
+"""
+
+from __future__ import annotations
+
+__all__ = ["congestion_loss", "combine_loss"]
+
+
+def congestion_loss(demand: float, share: float, *,
+                    sensitivity: float = 1.0) -> float:
+    """Packet-loss probability exposing oversubscription to TCP.
+
+    ``demand`` — the rate the flow is currently trying to send (bits/s);
+    ``share`` — the rate the sharing model granted it.  Returns 0 when the
+    flow is within its share.
+    """
+    if demand <= 0 or share >= demand:
+        return 0.0
+    if share <= 0:
+        return min(1.0, sensitivity)
+    excess_fraction = 1.0 - share / demand
+    return max(0.0, min(1.0, excess_fraction * sensitivity))
+
+
+def combine_loss(*probabilities: float) -> float:
+    """Combine independent loss probabilities (complement product)."""
+    delivery = 1.0
+    for probability in probabilities:
+        delivery *= 1.0 - min(1.0, max(0.0, probability))
+    return 1.0 - delivery

@@ -1,0 +1,71 @@
+"""Offline pre-computation of the dynamic topology sequence (§3).
+
+Computing all-pairs shortest paths online takes milliseconds for small
+graphs but seconds for thousands of nodes, which would preclude sub-second
+dynamics.  Kollaps therefore pre-computes, before the experiment starts, the
+ordered sequence of graph states together with *all* derived metadata: the
+collapsed topology and the per-link capacity map for each state.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.collapse import CollapsedTopology, collapse
+from repro.topology.events import EventSchedule
+from repro.topology.model import Topology
+
+__all__ = ["TopologyState", "DynamicTopologyPlan"]
+
+
+@dataclass
+class TopologyState:
+    """One pre-computed instant of the experiment."""
+
+    time: float
+    topology: Topology
+    collapsed: CollapsedTopology
+    capacities: Dict[int, float]
+
+
+class DynamicTopologyPlan:
+    """The full pre-computed sequence, indexable by simulated time."""
+
+    def __init__(self, base: Topology,
+                 schedule: Optional[EventSchedule] = None) -> None:
+        schedule = schedule or EventSchedule()
+        self.states: List[TopologyState] = []
+        for time, snapshot in schedule.snapshots(base):
+            self.states.append(TopologyState(
+                time=time,
+                topology=snapshot,
+                collapsed=collapse(snapshot),
+                capacities={link.link_id: link.properties.bandwidth
+                            for link in snapshot.links()},
+            ))
+        self._times = [state.time for state in self.states]
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def state_at(self, time: float) -> TopologyState:
+        """The state in force at simulated ``time``."""
+        index = bisect.bisect_right(self._times, time) - 1
+        return self.states[max(0, index)]
+
+    def initial(self) -> TopologyState:
+        return self.states[0]
+
+    def change_times(self) -> List[float]:
+        """Times (after 0) at which the topology switches state."""
+        return self._times[1:]
+
+    def all_containers(self) -> List[str]:
+        """Union of container names across every state (stable order)."""
+        seen: Dict[str, None] = {}
+        for state in self.states:
+            for container in state.topology.container_names():
+                seen.setdefault(container)
+        return list(seen)

@@ -1,0 +1,377 @@
+"""The Emulation Manager: one per physical machine (§3).
+
+Each manager runs the emulation loop for its local containers:
+
+1. clear the state of all local active flows,
+2. obtain bandwidth usage by querying each core's TCAL,
+3. disseminate the local usage to the other managers (Aeron),
+4. compute global bandwidth usage per path and constituent link,
+5. enforce bandwidth restrictions (htb) and congestion loss (netem).
+
+Managers never coordinate: each one merges its own samples with the latest
+message from every peer and evaluates the RTT-aware min-max model locally.
+Because the model and the collapsed topology are deterministic, all managers
+converge to the same allocation — the decentralization argument of §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.collapse import CollapsedTopology
+from repro.core.congestion import combine_loss, congestion_loss
+from repro.core.emucore import EmulationCore, UsageSample
+from repro.core.sharing import FlowDemand, rtt_aware_max_min
+from repro.metadata.channels import MediaDriver
+from repro.metadata.encoding import FlowRecord, MetadataMessage
+from repro.sim import Simulator
+
+__all__ = ["EmulationManager"]
+
+# Remote flow reports older than this many loop periods are discarded
+# (their sender stopped reporting, so the flows are gone).
+_REMOTE_EXPIRY_PERIODS = 2.5
+
+# A non-saturating flow may grow this much above its measured usage before
+# the next loop iteration re-evaluates it (paper: the maximization step
+# redistributes capacity *unused* by under-demanding flows).
+_GROWTH_HEADROOM = 1.5
+
+
+@dataclass
+class _RemoteReport:
+    received_at: float
+    flows: Tuple[FlowRecord, ...]
+
+
+class EmulationManager:
+    """Decentralized emulation agent for one machine's containers."""
+
+    def __init__(self, sim: Simulator, machine: str, driver: MediaDriver,
+                 manager_index: int, container_indices: Dict[str, int], *,
+                 period: float = 0.050,
+                 congestion_sensitivity: float = 1.0,
+                 update_on_change_only: bool = False,
+                 change_tolerance: float = 0.10,
+                 keepalive_periods: int = 2) -> None:
+        """``update_on_change_only`` enables the §7 future-work optimization:
+        a manager republishes only when a flow's rate moved by more than
+        ``change_tolerance`` (relative) or the flow set changed, with a
+        keepalive every ``keepalive_periods`` so peers' expiry never
+        misfires for stable long-lived flows."""
+        self.sim = sim
+        self.machine = machine
+        self.driver = driver
+        self.manager_index = manager_index
+        self.period = period
+        self.congestion_sensitivity = congestion_sensitivity
+        self.update_on_change_only = update_on_change_only
+        self.change_tolerance = change_tolerance
+        self.keepalive_periods = keepalive_periods
+        self._last_published: Optional[Tuple[FlowRecord, ...]] = None
+        self._loops_since_publish = 0
+        self.container_indices = container_indices
+        self.index_to_container = {index: name for name, index
+                                   in container_indices.items()}
+        self.cores: Dict[str, EmulationCore] = {}
+        self.collapsed: Optional[CollapsedTopology] = None
+        self.capacities: Dict[int, float] = {}
+        self._remote: Dict[int, _RemoteReport] = {}
+        # Contention state per link id: True while the sharing model is in
+        # force; the int counts consecutive quiet loops toward release.
+        self._link_contended: Dict[int, bool] = {}
+        self._quiet_loops: Dict[int, int] = {}
+        self.loops = 0
+        self.enforcements = 0
+        driver.subscribe(self._on_message)
+
+    # -------------------------------------------------------------- wiring
+    def add_core(self, core: EmulationCore) -> None:
+        self.cores[core.container] = core
+
+    def install_state(self, collapsed: CollapsedTopology,
+                      capacities: Dict[int, float]) -> None:
+        """Swap in a new pre-computed topology state (dynamic event)."""
+        self.collapsed = collapsed
+        self.capacities = capacities
+
+    def _on_message(self, message: MetadataMessage) -> None:
+        if message.sender == self.manager_index:
+            return
+        self._remote[message.sender] = _RemoteReport(self.sim.now,
+                                                     message.flows)
+
+    # ----------------------------------------------------------------- loop
+    def run_loop_iteration(self) -> None:
+        """One full pass of the five-step emulation loop."""
+        if self.collapsed is None:
+            return
+        self.loops += 1
+        local_samples = self._poll_local_usage()
+        self._disseminate(local_samples)
+        global_flows = self._merge_global_view(local_samples)
+        self._restore_idle(local_samples)
+        if not global_flows:
+            return
+        allocation, usage_rates = self._compute_shares(global_flows)
+        self._enforce(local_samples, global_flows, allocation, usage_rates)
+
+    def _restore_idle(self,
+                      local: Dict[Tuple[str, str], UsageSample]) -> None:
+        """Reset chains with no active flow to their path properties.
+
+        The sharing model covers active flows only (§3: "only active flows
+        require the exchange of metadata"), so a destination that went
+        quiet gets its collapsed-path bandwidth and loss back — otherwise a
+        previously-throttled chain would still strangle the next burst.
+        """
+        for container, core in self.cores.items():
+            for destination in list(core.tcal.destinations()):
+                if (container, destination) in local:
+                    continue
+                path = self.collapsed.path(container, destination)
+                if path is None:
+                    continue
+                core.restore(destination,
+                             bandwidth=path.properties.bandwidth,
+                             loss=path.properties.loss)
+
+    # Step 1 + 2.
+    def _poll_local_usage(self) -> Dict[Tuple[str, str], UsageSample]:
+        samples: Dict[Tuple[str, str], UsageSample] = {}
+        for container, core in self.cores.items():
+            usage = core.sample_usage(self.period, now=self.sim.now)
+            for destination, sample in usage.items():
+                samples[(container, destination)] = sample
+        return samples
+
+    # Step 3.
+    def _disseminate(self, samples: Dict[Tuple[str, str], UsageSample]) -> None:
+        records = []
+        for (source, destination), sample in samples.items():
+            path = self.collapsed.path(source, destination)
+            if path is None:
+                continue
+            records.append(FlowRecord(
+                source_index=self.container_indices[source],
+                destination_index=self.container_indices[destination],
+                # Offered load (carried + back-pressured): peers need the
+                # requested bandwidth to evaluate §3's congestion model.
+                # Same wire format — only the value's semantics differ.
+                used_bandwidth=sample.requested,
+                link_ids=path.link_ids,
+            ))
+        flows = tuple(records)
+        if self.update_on_change_only and \
+                not self._publication_due(flows):
+            self._loops_since_publish += 1
+            return
+        self._last_published = flows
+        self._loops_since_publish = 0
+        message = MetadataMessage(sender=self.manager_index, flows=flows)
+        # Peers always receive the report (even when empty: it clears their
+        # view of our finished flows).
+        for machine in self.driver.peers():
+            self.driver.publish_to(machine, message)
+
+    def _publication_due(self, flows: Tuple[FlowRecord, ...]) -> bool:
+        """Change detection for the update-on-change optimization."""
+        if self._loops_since_publish >= self.keepalive_periods:
+            return True
+        previous = self._last_published
+        if previous is None:
+            return True
+        if len(previous) != len(flows):
+            return True
+        before = {(record.source_index, record.destination_index):
+                  record.used_bandwidth for record in previous}
+        for record in flows:
+            key = (record.source_index, record.destination_index)
+            if key not in before:
+                return True
+            reference = max(before[key], 1.0)
+            if abs(record.used_bandwidth - before[key]) / reference > \
+                    self.change_tolerance:
+                return True
+        return False
+
+    # Step 4 (first half): assemble the global flow view.
+    def _merge_global_view(
+            self, local: Dict[Tuple[str, str], UsageSample]
+    ) -> Dict[Tuple[str, str], FlowRecord]:
+        flows: Dict[Tuple[str, str], FlowRecord] = {}
+        expiry = self.period * max(_REMOTE_EXPIRY_PERIODS,
+                                   self.keepalive_periods + 1.5)
+        for sender, report in list(self._remote.items()):
+            if self.sim.now - report.received_at > expiry:
+                del self._remote[sender]
+                continue
+            for record in report.flows:
+                source = self.index_to_container.get(record.source_index)
+                destination = self.index_to_container.get(
+                    record.destination_index)
+                if source is None or destination is None:
+                    continue
+                flows[(source, destination)] = record
+        for (source, destination), sample in local.items():
+            path = self.collapsed.path(source, destination)
+            if path is None:
+                continue
+            flows[(source, destination)] = FlowRecord(
+                source_index=self.container_indices[source],
+                destination_index=self.container_indices[destination],
+                used_bandwidth=sample.requested,
+                link_ids=path.link_ids)
+        return flows
+
+    # Step 4 (second half): evaluate the sharing model.
+    def _compute_shares(self, flows: Dict[Tuple[str, str], FlowRecord]):
+        """Two solver passes implement the model of §3 exactly:
+
+        * the *fair-share floor* — every active flow's RTT-aware min-max
+          share assuming it wants everything.  A flow is never enforced
+          below this, no matter how little it used last period; a short
+          or bursty flow must not be ratcheted down by its own duty cycle.
+        * the *maximization step* — re-solving with usage-derived demands
+          redistributes capacity under-demanding flows leave unused,
+          "proportionally to their original shares".
+
+        The enforced share is the maximum of the two: the floor guarantees
+        fairness, the redistribution pass grants more when contention is
+        only nominal.
+        """
+        demands: List[FlowDemand] = []
+        wants_all: List[FlowDemand] = []
+        usage_rates: Dict[Tuple[str, str], float] = {}
+        for key, record in flows.items():
+            source, destination = key
+            forward = self.collapsed.path(source, destination)
+            if forward is None:
+                continue
+            backward = self.collapsed.path(destination, source)
+            rtt = forward.latency + (backward.latency if backward
+                                     else forward.latency)
+            usage_rates[key] = record.used_bandwidth
+            demands.append(FlowDemand(
+                key=key, rtt=rtt, links=record.link_ids,
+                demand=self._estimated_demand(key, record),
+                path_bandwidth=forward.properties.bandwidth))
+            wants_all.append(FlowDemand(
+                key=key, rtt=rtt, links=record.link_ids,
+                demand=float("inf"),
+                path_bandwidth=forward.properties.bandwidth))
+        floor = rtt_aware_max_min(wants_all, self.capacities)
+        boosted = rtt_aware_max_min(demands, self.capacities)
+        allocation = {key: max(floor.get(key, 0.0), boosted.get(key, 0.0))
+                      for key in usage_rates}
+        return allocation, usage_rates
+
+    def _estimated_demand(self, key: Tuple[str, str],
+                          record: FlowRecord) -> float:
+        """How much this flow *wants*, inferred from what it used.
+
+        A local flow that filled its htb allocation is unconstrained (the
+        shaping, not the application, was the limit), so the model should
+        grant it its full fair share.  For every other flow — remote flows,
+        whose enforcement state we don't see, and local under-demanding
+        ones — the demand is the measured usage plus growth headroom, so
+        unused capacity is redistributed (the maximization step) while a
+        throttled flow can still climb back to its fair share over a few
+        loop iterations.
+        """
+        core = self.cores.get(key[0])
+        if core is not None:
+            try:
+                htb_rate = core.tcal.shaping_for(key[1]).htb.rate
+            except KeyError:
+                htb_rate = None
+            if htb_rate is not None and \
+                    record.used_bandwidth >= 0.9 * htb_rate:
+                return float("inf")
+        return record.used_bandwidth * _GROWTH_HEADROOM
+
+    # Contention hysteresis.  §3: the model "gives the percentage of the
+    # maximum bandwidth any flow is allowed to use *at capacity*" — an
+    # uncontended path keeps its collapsed maximum.  A link *enters*
+    # contention above ENTER x capacity and only *leaves* after usage has
+    # stayed below EXIT x capacity for QUIET consecutive loops: enforced
+    # flows sit exactly at the sum of their shares, so a single-threshold
+    # gate would flap on every sampling wobble, momentarily unthrottle
+    # everyone, and then punish the resulting burst with phantom loss.
+    _CONTENTION_ENTER = 0.90
+    _CONTENTION_EXIT = 0.75
+    _CONTENTION_QUIET_LOOPS = 5
+
+    # Step 5.
+    def _enforce(self, local: Dict[Tuple[str, str], UsageSample],
+                 flows: Dict[Tuple[str, str], FlowRecord],
+                 allocation: Dict[Tuple[str, str], float],
+                 usage_rates: Dict[Tuple[str, str], float]) -> None:
+        # Cumulative measured usage per link across the global view: which
+        # links are at capacity (throttle their flows) and which are
+        # oversubscribed (additionally inject loss).
+        requested: Dict[int, float] = {}
+        for key, record in flows.items():
+            for link_id in record.link_ids:
+                requested[link_id] = requested.get(link_id, 0.0) + \
+                    usage_rates.get(key, 0.0)
+        contended = self._update_contention(requested)
+
+        for key in local:
+            source, destination = key
+            share = allocation.get(key)
+            if share is None:
+                continue
+            path = self.collapsed.path(source, destination)
+            core = self.cores[source]
+            record = flows[key]
+            if not any(link_id in contended for link_id in record.link_ids):
+                # No link on the path is near capacity: the flow keeps the
+                # collapsed path maximum (the model only divides bandwidth
+                # between flows *competing* for a saturated link).
+                core.restore(destination,
+                             bandwidth=path.properties.bandwidth,
+                             loss=path.properties.loss)
+                self.enforcements += 1
+                continue
+            loss_components = [path.properties.loss]
+            # A 2 % tolerance absorbs measurement quantization: usage is
+            # sampled over one loop period, and a flow exactly at capacity
+            # must not read as oversubscribed.
+            oversubscribed = any(
+                requested.get(link_id, 0.0) > self.capacities[link_id] * 1.02
+                for link_id in record.link_ids if link_id in self.capacities)
+            if oversubscribed:
+                # Each flow loses the fraction of its *own* traffic that
+                # exceeds its share — "per flow, proportionally to the
+                # oversubscribed capacity" (§3).  Flows within their share
+                # lose nothing, so a ramping newcomer is never penalized.
+                loss_components.append(congestion_loss(
+                    usage_rates.get(key, 0.0), share,
+                    sensitivity=self.congestion_sensitivity))
+            core.enforce(destination, bandwidth=share,
+                         loss=combine_loss(*loss_components))
+            self.enforcements += 1
+
+    def _update_contention(self, requested: Dict[int, float]) -> set:
+        """Advance per-link contention state; returns the contended set."""
+        for link_id, capacity in self.capacities.items():
+            if capacity == float("inf"):
+                continue
+            used = requested.get(link_id, 0.0)
+            if used > capacity * self._CONTENTION_ENTER:
+                self._link_contended[link_id] = True
+                self._quiet_loops[link_id] = 0
+            elif self._link_contended.get(link_id):
+                if used < capacity * self._CONTENTION_EXIT:
+                    quiet = self._quiet_loops.get(link_id, 0) + 1
+                    if quiet >= self._CONTENTION_QUIET_LOOPS:
+                        self._link_contended[link_id] = False
+                        self._quiet_loops[link_id] = 0
+                    else:
+                        self._quiet_loops[link_id] = quiet
+                else:
+                    self._quiet_loops[link_id] = 0
+        return {link_id for link_id, state in self._link_contended.items()
+                if state}

@@ -1,0 +1,214 @@
+"""RTT-aware min-max bandwidth sharing (§3).
+
+The paper models how TCP Reno divides a bottleneck among competing flows:
+each long-lived flow's share of a link is inversely proportional to its
+round-trip time [Kelly 1997; Massoulié & Roberts 2002; Padhye et al. 2000]::
+
+    Share(f) = ( RTT(f) * Σ_i 1/RTT(f_i) )^-1        (fraction of capacity)
+
+Because a flow can be capped below its share by another link on its path (or
+by its application demand), the model adds a *maximization step*: surplus
+capacity left by constrained flows is redistributed to the remaining flows
+proportionally to their original shares, keeping links work-conserving.
+
+Two solvers are provided:
+
+* :func:`rtt_aware_max_min` — exact RTT-weighted max-min via progressive
+  filling.  Running the maximization step to its fixed point is equivalent
+  to progressive filling with weights ``1/RTT``; this is the solver the
+  emulation engine uses.
+* :func:`paper_two_step_shares` — the literal two-pass computation in the
+  paper's text (initial share, then one proportional redistribution).  Kept
+  for the ablation benchmark; it deviates from the fixed point only when a
+  single redistribution pass cannot absorb all surplus.
+
+Shares are enforced *per destination, not per flow* (§3): callers aggregate
+all traffic between one container pair into a single :class:`FlowDemand`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["FlowDemand", "LinkUsage", "rtt_aware_max_min",
+           "paper_two_step_shares"]
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class FlowDemand:
+    """One aggregated flow for the sharing model.
+
+    ``key`` identifies the (source, destination) container pair; ``rtt`` is
+    the collapsed round-trip latency; ``links`` are the identifiers of the
+    physical links the collapsed path traverses; ``demand`` is the rate the
+    application currently wants (``inf`` for a saturating bulk flow);
+    ``path_bandwidth`` is the collapsed path's narrowest-link capacity.
+    """
+
+    key: Hashable
+    rtt: float
+    links: Tuple[int, ...]
+    demand: float = float("inf")
+    path_bandwidth: float = float("inf")
+
+    @property
+    def weight(self) -> float:
+        """RTT-fairness weight; latency-free paths share equally."""
+        return 1.0 / max(self.rtt, 1e-6)
+
+
+@dataclass
+class LinkUsage:
+    """Mutable per-link accounting used while solving."""
+
+    capacity: float
+    flows: List[FlowDemand] = field(default_factory=list)
+
+
+def _index_links(flows: Sequence[FlowDemand],
+                 capacities: Mapping[int, float]) -> Dict[int, LinkUsage]:
+    links: Dict[int, LinkUsage] = {}
+    for flow in flows:
+        for link_id in flow.links:
+            if link_id not in capacities:
+                continue
+            usage = links.get(link_id)
+            if usage is None:
+                usage = links[link_id] = LinkUsage(capacities[link_id])
+            usage.flows.append(flow)
+    return links
+
+
+def rtt_aware_max_min(flows: Sequence[FlowDemand],
+                      capacities: Mapping[int, float]) -> Dict[Hashable, float]:
+    """Exact RTT-weighted max-min allocation by progressive filling.
+
+    All flows grow their rate as ``weight * t`` simultaneously; when a link
+    saturates, the flows crossing it freeze at their current rate; when a
+    flow reaches its demand or path cap it freezes too.  Links with infinite
+    capacity never bind.  Returns ``{flow.key: rate}``.
+    """
+    if not flows:
+        return {}
+    links = _index_links(flows, capacities)
+    allocation: Dict[Hashable, float] = {flow.key: 0.0 for flow in flows}
+    frozen: Dict[Hashable, bool] = {flow.key: False for flow in flows}
+    flow_cap = {flow.key: min(flow.demand, flow.path_bandwidth)
+                for flow in flows}
+
+    while not all(frozen.values()):
+        # Smallest time-step at which either a link saturates or a flow
+        # reaches its individual cap.
+        step = float("inf")
+        for usage in links.values():
+            active_weight = sum(flow.weight for flow in usage.flows
+                                if not frozen[flow.key])
+            if active_weight <= _EPSILON:
+                continue
+            remaining = usage.capacity - sum(
+                allocation[flow.key] for flow in usage.flows)
+            if remaining <= _EPSILON:
+                step = 0.0
+                break
+            step = min(step, remaining / active_weight)
+        for flow in flows:
+            if frozen[flow.key]:
+                continue
+            headroom = flow_cap[flow.key] - allocation[flow.key]
+            if headroom <= _EPSILON:
+                step = 0.0
+                break
+            step = min(step, headroom / flow.weight)
+        if step == float("inf"):
+            # Nothing binds the remaining flows: give each its own cap (an
+            # entirely unconstrained flow keeps whatever it has, which can
+            # only happen for zero-bandwidth-relevant paths).
+            for flow in flows:
+                if not frozen[flow.key]:
+                    if flow_cap[flow.key] != float("inf"):
+                        allocation[flow.key] = flow_cap[flow.key]
+                    frozen[flow.key] = True
+            break
+
+        for flow in flows:
+            if not frozen[flow.key]:
+                allocation[flow.key] += flow.weight * step
+
+        # Freeze flows at saturated links or at their own cap.
+        for usage in links.values():
+            used = sum(allocation[flow.key] for flow in usage.flows)
+            if used >= usage.capacity - _EPSILON:
+                for flow in usage.flows:
+                    frozen[flow.key] = True
+        for flow in flows:
+            if allocation[flow.key] >= flow_cap[flow.key] - _EPSILON:
+                frozen[flow.key] = True
+    return allocation
+
+
+def paper_two_step_shares(flows: Sequence[FlowDemand],
+                          capacities: Mapping[int, float]) -> Dict[Hashable, float]:
+    """The paper's literal two-step computation, per link.
+
+    Step 1: every flow on a link gets ``capacity * weight / Σ weights``.
+    Step 2 (maximization): flows capped below their share (by demand, path
+    bandwidth or a smaller share on another link) release their surplus,
+    which is redistributed proportionally to the original shares of the
+    remaining flows.  The flow's final rate is the minimum across its links.
+    """
+    if not flows:
+        return {}
+    links = _index_links(flows, capacities)
+    flow_cap = {flow.key: min(flow.demand, flow.path_bandwidth)
+                for flow in flows}
+
+    initial: Dict[int, Dict[Hashable, float]] = {}
+    for link_id, usage in links.items():
+        total_weight = sum(flow.weight for flow in usage.flows)
+        initial[link_id] = {
+            flow.key: usage.capacity * flow.weight / total_weight
+            for flow in usage.flows}
+
+    # A flow's provisional rate is its smallest per-link share or its cap.
+    provisional: Dict[Hashable, float] = {}
+    for flow in flows:
+        shares = [initial[link_id][flow.key] for link_id in flow.links
+                  if link_id in initial]
+        provisional[flow.key] = min([flow_cap[flow.key]] + shares)
+
+    # One maximization pass per link: hand surplus to flows whose
+    # provisional rate equals their share on this link (i.e. this link is
+    # their bottleneck) proportionally to original shares.  A bonus is
+    # additionally capped by the remaining headroom on the flow's *other*
+    # links — the redistribution must never oversubscribe a neighbour.
+    final = dict(provisional)
+    used: Dict[int, float] = {
+        link_id: sum(final[flow.key] for flow in usage.flows)
+        for link_id, usage in links.items()}
+    for link_id, usage in links.items():
+        surplus = usage.capacity - used[link_id]
+        if surplus <= _EPSILON:
+            continue
+        bottlenecked = [flow for flow in usage.flows
+                        if final[flow.key] >= initial[link_id][flow.key] - _EPSILON
+                        and final[flow.key] < flow_cap[flow.key] - _EPSILON]
+        weight_sum = sum(initial[link_id][flow.key] for flow in bottlenecked)
+        if weight_sum <= _EPSILON:
+            continue
+        for flow in bottlenecked:
+            bonus = surplus * initial[link_id][flow.key] / weight_sum
+            bonus = min(bonus, flow_cap[flow.key] - final[flow.key])
+            for other in flow.links:
+                if other in used and other != link_id:
+                    bonus = min(bonus,
+                                links[other].capacity - used[other])
+            if bonus <= 0.0:
+                continue
+            final[flow.key] += bonus
+            for touched in flow.links:
+                if touched in used:
+                    used[touched] += bonus
+    return final

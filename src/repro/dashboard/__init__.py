@@ -1,0 +1,17 @@
+"""Textual experiment monitor (the web dashboard's terminal stand-in)."""
+
+from repro.dashboard.monitor import Dashboard
+from repro.dashboard.graphview import (
+    render_adjacency,
+    render_collapsed_matrix,
+    render_flow_history,
+    sparkline,
+)
+
+__all__ = [
+    "Dashboard",
+    "render_adjacency",
+    "render_collapsed_matrix",
+    "render_flow_history",
+    "sparkline",
+]

@@ -1,0 +1,111 @@
+"""Textual dashboard: topology, services, flows and events at a glance.
+
+The real Kollaps ships a web dashboard (§3); in this reproduction the same
+information renders as text, suitable for printing between experiment
+phases or piping into logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.units import format_rate, format_time
+
+__all__ = ["Dashboard"]
+
+
+class Dashboard:
+    """Renders engine state; also keeps a bounded in-memory event log."""
+
+    def __init__(self, engine, *, log_limit: int = 1000) -> None:
+        self.engine = engine
+        self.log_limit = log_limit
+        self.events: List[str] = []
+
+    # ------------------------------------------------------------ event log
+    def log(self, message: str) -> None:
+        self.events.append(f"[{self.engine.sim.now:10.3f}s] {message}")
+        if len(self.events) > self.log_limit:
+            del self.events[:len(self.events) - self.log_limit]
+
+    # -------------------------------------------------------------- renders
+    def render_topology(self) -> str:
+        state = self.engine.current_state
+        lines = [f"topology @ {self.engine.sim.now:.3f}s "
+                 f"(state from t={state.time:.3f}s)"]
+        lines.append(state.topology.describe())
+        return "\n".join(lines)
+
+    def render_services(self) -> str:
+        lines = ["services:"]
+        placement = self.engine.placement
+        for name, service in self.engine.current_state.topology.services.items():
+            machines = sorted({placement.get(container, "?")
+                               for container in service.container_names()})
+            lines.append(f"  {name}: image={service.image} "
+                         f"replicas={service.replicas} on {', '.join(machines)}")
+        return "\n".join(lines)
+
+    def render_flows(self) -> str:
+        lines = ["active flows:"]
+        flows = self.engine.fluid.active_flows()
+        if not flows:
+            lines.append("  (none)")
+        for flow in flows:
+            lines.append("  " + flow.describe())
+        return "\n".join(lines)
+
+    def render_metadata(self) -> str:
+        lines = ["metadata traffic:"]
+        for machine, stats in sorted(self.engine.metadata_stats().items()):
+            lines.append(
+                f"  {machine}: tx={stats.wire_bytes_sent()}B "
+                f"({stats.datagrams_sent} datagrams), "
+                f"rx={stats.bytes_received}B, "
+                f"shm={stats.shared_memory_messages}")
+        return "\n".join(lines)
+
+    def render_managers(self) -> str:
+        """Per-machine Emulation Manager counters."""
+        lines = ["emulation managers:"]
+        for machine, manager in sorted(self.engine.managers.items()):
+            contended = sum(1 for state in manager._link_contended.values()
+                            if state)
+            lines.append(f"  {machine}: loops={manager.loops} "
+                         f"enforcements={manager.enforcements} "
+                         f"cores={len(manager.cores)} "
+                         f"contended-links={contended}")
+        return "\n".join(lines)
+
+    def render_graph(self) -> str:
+        """ASCII adjacency + collapsed matrix (the web UI's graph pane)."""
+        from repro.dashboard.graphview import (
+            render_adjacency,
+            render_collapsed_matrix,
+        )
+
+        state = self.engine.current_state
+        return (render_adjacency(state.topology) + "\n\n"
+                + render_collapsed_matrix(state.collapsed))
+
+    def render_flow_histories(self, *, width: int = 60) -> str:
+        """Sparkline per tracked flow (delivered-rate history)."""
+        from repro.dashboard.graphview import render_flow_history
+
+        keys = sorted(self.engine.fluid.flows, key=str)
+        if not keys:
+            return "flow histories:\n  (none)"
+        lines = ["flow histories:"]
+        for key in keys:
+            lines.append("  " + render_flow_history(self.engine.fluid, key,
+                                                    width=width))
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        sections = [self.render_topology(), self.render_services(),
+                    self.render_flows(), self.render_managers(),
+                    self.render_metadata()]
+        if self.events:
+            sections.append("events:\n" + "\n".join(
+                "  " + event for event in self.events[-10:]))
+        return "\n\n".join(sections)

@@ -1,0 +1,29 @@
+"""Per-table/figure experiment runners and the EXPERIMENTS.md generator.
+
+One module per experiment of the paper's evaluation (§5): each exposes a
+registered ``run(quick=False) -> ExperimentResult`` plus the underlying
+compute functions the benchmarks reuse.  ``python -m repro.experiments``
+runs any subset and regenerates ``EXPERIMENTS.md``.
+"""
+
+from repro.experiments.base import (
+    Check,
+    ExperimentResult,
+    experiment,
+    format_table,
+    get_runner,
+    registered,
+    render_markdown,
+    run_experiments,
+)
+
+__all__ = [
+    "Check",
+    "ExperimentResult",
+    "experiment",
+    "format_table",
+    "get_runner",
+    "registered",
+    "render_markdown",
+    "run_experiments",
+]

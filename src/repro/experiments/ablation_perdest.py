@@ -1,0 +1,78 @@
+"""Ablation — per-destination vs per-flow bandwidth enforcement (§3).
+
+Kollaps "enforces bandwidth sharing per destination, not per flow", which
+(together with only-active-flows reporting) is why Figure 3's metadata
+traffic is flat in the number of containers.  This ablation measures the
+metadata volume with per-destination aggregation (one record per container
+pair, what Kollaps ships) against hypothetical per-flow reporting (one
+record per TCP connection), for a memcached-style workload where clients
+hold many connections to one server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core import EmulationEngine, EngineConfig
+from repro.experiments.base import ExperimentResult, experiment
+from repro.metadata.encoding import FlowRecord, MetadataMessage, encoded_size
+from repro.topogen import star_topology
+
+CONNECTIONS_PER_CLIENT = 10
+CLIENTS = 8
+
+
+def compute_results(duration: float = 5.0) -> Dict[str, float]:
+    # Drive real traffic so the engine's own (per-destination) metadata
+    # volume is measured, not synthesized.
+    topology = star_topology(
+        ["server"] + [f"c{i}" for i in range(CLIENTS)],
+        bandwidth=1e9, latency=0.002)
+    engine = EmulationEngine(topology,
+                             config=EngineConfig(machines=2, seed=141))
+    for index in range(CLIENTS):
+        # Each client's many connections aggregate into ONE shaped flow.
+        engine.start_flow(f"f{index}", f"c{index}", "server", demand=20e6)
+    engine.run(until=duration)
+    per_destination_rate = engine.total_metadata_wire_bytes() / duration
+
+    # Hypothetical per-flow encoding of the same instant: one record per
+    # TCP connection rather than per container pair.
+    per_dest_message = MetadataMessage(sender=0, flows=tuple(
+        FlowRecord(i, CLIENTS, 20e6, (0, 1)) for i in range(CLIENTS)))
+    per_flow_message = MetadataMessage(sender=0, flows=tuple(
+        FlowRecord(i, CLIENTS, 2e6, (0, 1))
+        for i in range(CLIENTS)
+        for _connection in range(CONNECTIONS_PER_CLIENT)))
+    return {
+        "measured_rate": per_destination_rate,
+        "per_dest_bytes": encoded_size(per_dest_message),
+        "per_flow_bytes": encoded_size(per_flow_message),
+    }
+
+
+@experiment("ablation-perdest")
+def run(quick: bool = False) -> ExperimentResult:
+    results = compute_results(duration=2.0 if quick else 5.0)
+    result = ExperimentResult(
+        exp_id="ablation-perdest",
+        title="Ablation: per-destination vs per-flow metadata",
+        paper_claim=(
+            "Kollaps enforces bandwidth sharing per destination, not per "
+            "flow (§3); with many connections per container pair, per-flow "
+            "reporting would multiply the metadata volume by the "
+            "connection count."),
+        headers=["metric", "value"],
+        rows=[("measured wire rate (per-destination design)",
+               f"{results['measured_rate'] / 1e3:.1f} KB/s"),
+              ("report size, per-destination",
+               f"{results['per_dest_bytes']} B"),
+              (f"report size, per-flow ({CONNECTIONS_PER_CLIENT} "
+               "conns/client)", f"{results['per_flow_bytes']} B")])
+    result.check(
+        "per-flow reporting an order of magnitude heavier",
+        results["per_flow_bytes"]
+        >= results["per_dest_bytes"] * CONNECTIONS_PER_CLIENT * 0.9)
+    result.check("per-destination metadata flows on the wire",
+                 results["measured_rate"] > 0)
+    return result

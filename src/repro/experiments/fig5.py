@@ -1,0 +1,105 @@
+"""Figure 5 — deviation from bare metal for long- and short-lived flows.
+
+Paper: one server, two clients behind a 1 Gb/s switch.  Long-lived iPerf3
+flows under Cubic and Reno, and short-lived wrk2 HTTP traffic, run on bare
+metal, Kollaps and Mininet; the deviation of measured bandwidth from the
+bare-metal baseline stays below ~10 % (long-lived) and ~2 % (short-lived),
+with Kollaps generally at least as close as Mininet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps import HttpServer, Wrk2Client, run_iperf_pair
+from repro.baselines import BareMetalTestbed, MininetEmulator
+from repro.core import EmulationEngine, EngineConfig
+from repro.experiments.base import ExperimentResult, experiment
+from repro.topogen import star_topology
+
+_DURATION = 15.0
+GBPS = 1e9
+
+WORKLOADS = ("cubic", "reno", "wrk2")
+SYSTEMS = ("baremetal", "kollaps", "mininet")
+
+
+def topology():
+    return star_topology(["server", "client1", "client2"],
+                         bandwidth=GBPS, latency=0.0005)
+
+
+def systems():
+    return {
+        "baremetal": BareMetalTestbed(topology(), seed=61),
+        "kollaps": EmulationEngine(topology(),
+                                   config=EngineConfig(machines=3, seed=61)),
+        "mininet": MininetEmulator(topology(), seed=61),
+    }
+
+
+def long_lived(system, congestion_control: str,
+               duration: float = _DURATION) -> float:
+    result = run_iperf_pair(system, "client1", "server", duration=duration,
+                            congestion_control=congestion_control,
+                            warmup=3.0)
+    return result.mean_goodput
+
+
+def short_lived(system, duration: float = _DURATION) -> float:
+    server = HttpServer(system.sim, system.dataplane, "server")
+    client = Wrk2Client(system.sim, system.dataplane, "client2", server,
+                        connections=100)
+    start = system.sim.now
+    system.run(until=start + duration)
+    return client.stats.throughput(duration)
+
+
+def compute_results(duration: float = _DURATION) -> Dict:
+    results = {}
+    for congestion_control in ("cubic", "reno"):
+        for name, system in systems().items():
+            results[(congestion_control, name)] = long_lived(
+                system, congestion_control, duration)
+    for name, system in systems().items():
+        results[("wrk2", name)] = short_lived(system, duration)
+    return results
+
+
+@experiment("fig5")
+def run(quick: bool = False) -> ExperimentResult:
+    results = compute_results(duration=6.0 if quick else _DURATION)
+
+    def deviation(workload: str, name: str) -> float:
+        baseline = results[(workload, "baremetal")]
+        return abs(1.0 - results[(workload, name)] / baseline)
+
+    result = ExperimentResult(
+        exp_id="fig5",
+        title="Deviation from bare metal, long- and short-lived flows",
+        paper_claim=(
+            "Long-lived iPerf3 flows (Cubic and Reno) and short-lived wrk2 "
+            "traffic over a 1 Gb/s switch: both Kollaps and Mininet stay "
+            "within ~10 % (long) / ~2 % (short) of the bare-metal "
+            "bandwidth, with Kollaps generally at least as close."),
+        headers=["workload", "baremetal", "kollaps", "mininet",
+                 "kollaps dev", "mininet dev"],
+        rows=[(workload,
+               f"{results[(workload, 'baremetal')] / 1e6:.1f} Mb/s",
+               f"{results[(workload, 'kollaps')] / 1e6:.1f} Mb/s",
+               f"{results[(workload, 'mininet')] / 1e6:.1f} Mb/s",
+               f"{deviation(workload, 'kollaps'):.2%}",
+               f"{deviation(workload, 'mininet'):.2%}")
+              for workload in WORKLOADS])
+    for congestion_control in ("cubic", "reno"):
+        result.check(f"Kollaps within 10 % of bare metal "
+                     f"({congestion_control})",
+                     deviation(congestion_control, "kollaps") < 0.10)
+        result.check(f"Mininet within 10 % of bare metal "
+                     f"({congestion_control})",
+                     deviation(congestion_control, "mininet") < 0.10)
+    result.check("Kollaps close on short-lived wrk2 flows",
+                 deviation("wrk2", "kollaps") < 0.10)
+    result.check("Mininet close on short-lived wrk2 flows",
+                 deviation("wrk2", "mininet") < 0.15)
+    return result

@@ -1,0 +1,88 @@
+"""Figure 9 — reproducing the BFT-SMaRt vs Wheat geo-replication study.
+
+Paper: one replica + one client per region (Virginia, Oregon, Ireland,
+São Paulo, Sydney), replicated counter, leader in Virginia.  The figure
+shows 50th/90th-percentile client latency per region, original EC2 run
+(left) vs Kollaps (right): Kollaps reproduces the EC2 results within 7.3 %
+(Wheat, Ireland 90th) and 2.7 % (BFT-SMaRt).  The qualitative structure:
+Wheat beats BFT-SMaRt in every region, and remote clients (São Paulo,
+Sydney) pay the most.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps import SmrDeployment
+from repro.core import EmulationEngine, EngineConfig
+from repro.experiments.base import ExperimentResult, experiment
+from repro.topogen import aws_mesh_topology
+
+REGIONS = ["virginia", "oregon", "ireland", "saopaulo", "sydney"]
+_OPERATIONS = 60
+
+
+def run_protocol(protocol: str, operations: int = _OPERATIONS) -> Dict:
+    topology = aws_mesh_topology(REGIONS, services_per_region=2,
+                                 service_prefix="n", jitter_ms=2.0)
+    engine = EmulationEngine(topology, config=EngineConfig(
+        machines=5, seed=101, enforce_bandwidth_sharing=False))
+    replicas = [f"n-{region}-0" for region in REGIONS]
+    deployment = SmrDeployment(engine.sim, engine.dataplane, replicas,
+                               protocol=protocol, leader="n-virginia-0")
+    stats = {region: deployment.run_client(f"n-{region}-1",
+                                           operations=operations)
+             for region in REGIONS}
+    engine.run(until=180.0)
+    return stats
+
+
+def compute_results(operations: int = _OPERATIONS) -> Dict[str, Dict]:
+    return {"bftsmart": run_protocol("bftsmart", operations),
+            "wheat": run_protocol("wheat", operations)}
+
+
+@experiment("fig9")
+def run(quick: bool = False) -> ExperimentResult:
+    operations = 25 if quick else _OPERATIONS
+    results = compute_results(operations)
+    rows = []
+    for region in REGIONS:
+        bft = results["bftsmart"][region]
+        wheat = results["wheat"][region]
+        rows.append((region,
+                     f"{bft.percentile(0.5) * 1e3:.0f}",
+                     f"{bft.percentile(0.9) * 1e3:.0f}",
+                     f"{wheat.percentile(0.5) * 1e3:.0f}",
+                     f"{wheat.percentile(0.9) * 1e3:.0f}"))
+    result = ExperimentResult(
+        exp_id="fig9",
+        title="BFT-SMaRt vs Wheat client latency percentiles (ms)",
+        paper_claim=(
+            "Replicated counter over 5 AWS regions, leader in Virginia.  "
+            "Kollaps reproduces the original EC2 latencies within 7.3 % "
+            "(Wheat) / 2.7 % (BFT-SMaRt); Wheat's weighted quorums beat "
+            "BFT-SMaRt in every region, and clients far from the quorum "
+            "(São Paulo, Sydney) pay the most."),
+        headers=["client region", "BFT p50", "BFT p90", "Wheat p50",
+                 "Wheat p90"],
+        rows=rows)
+    for region in REGIONS:
+        bft = results["bftsmart"][region]
+        wheat = results["wheat"][region]
+        result.check(f"all {region} operations completed",
+                     len(bft.latencies) == operations)
+        result.check(f"Wheat beats BFT-SMaRt in {region}",
+                     wheat.percentile(0.5) < bft.percentile(0.5))
+    for protocol in ("bftsmart", "wheat"):
+        p50 = {region: results[protocol][region].percentile(0.5)
+               for region in REGIONS}
+        result.check(f"distance ordering holds for {protocol}",
+                     p50["virginia"] < p50["saopaulo"]
+                     < p50["sydney"] * 1.5)
+        result.check(f"sydney pays more than oregon ({protocol})",
+                     p50["sydney"] > p50["oregon"])
+    result.check("latencies in the figure's range (50-600 ms)",
+                 0.05 < results["bftsmart"]["virginia"].percentile(0.5)
+                 < 0.6)
+    return result

@@ -1,0 +1,27 @@
+"""Metadata dissemination: wire encoding, channels and the media driver.
+
+Emulation Cores exchange flow-usage metadata so every Emulation Manager can
+evaluate the bandwidth-sharing model locally (§3, §4.2).  Intra-host
+exchange goes through shared memory (zero network cost); inter-host exchange
+through UDP datagrams whose payload follows the paper's exact byte layout,
+so the metadata-traffic measurements of Figures 3 and 4 are byte-comparable.
+"""
+
+from repro.metadata.encoding import (
+    FlowRecord,
+    MetadataMessage,
+    decode_message,
+    encode_message,
+    encoded_size,
+)
+from repro.metadata.channels import MediaDriver, UdpStats
+
+__all__ = [
+    "FlowRecord",
+    "MetadataMessage",
+    "encode_message",
+    "decode_message",
+    "encoded_size",
+    "MediaDriver",
+    "UdpStats",
+]

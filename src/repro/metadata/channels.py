@@ -1,0 +1,102 @@
+"""Aeron-like metadata transport: shared memory intra-host, UDP inter-host.
+
+One :class:`MediaDriver` runs per physical machine (§4.2).  Publications to
+a subscriber on the same machine travel through shared memory and cost no
+network bytes; publications to remote machines are encoded into UDP
+datagrams, accounted against the sending and receiving machines' counters,
+and delivered after the physical network delay.  These counters are what
+the Figure 3/4 metadata-traffic benchmarks read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.metadata.encoding import (
+    DATAGRAM_PAYLOAD_BYTES,
+    MetadataMessage,
+    decode_message,
+    encode_message,
+)
+from repro.sim import Simulator
+
+__all__ = ["MediaDriver", "UdpStats"]
+
+# UDP + IP header cost per datagram, charged on the wire.
+_UDP_HEADER_BYTES = 28
+
+
+@dataclass
+class UdpStats:
+    """Per-machine metadata network accounting."""
+
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    datagrams_sent: int = 0
+    datagrams_received: int = 0
+    shared_memory_messages: int = 0
+
+    def wire_bytes_sent(self) -> int:
+        return self.bytes_sent + self.datagrams_sent * _UDP_HEADER_BYTES
+
+
+class MediaDriver:
+    """One per machine: routes metadata to local and remote subscribers."""
+
+    def __init__(self, sim: Simulator, machine: str, *,
+                 network_delay: float = 100e-6, wide_ids: bool = False) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.network_delay = network_delay
+        self.wide_ids = wide_ids
+        self.stats = UdpStats()
+        self._local_subscribers: List[Callable[[MetadataMessage], None]] = []
+        self._peers: Dict[str, "MediaDriver"] = {}
+
+    # ------------------------------------------------------------- topology
+    def connect(self, other: "MediaDriver") -> None:
+        """Make the two drivers mutually reachable over the physical net."""
+        if other.machine == self.machine:
+            raise ValueError("connect() is for distinct machines")
+        self._peers[other.machine] = other
+        other._peers[self.machine] = self
+
+    def subscribe(self, callback: Callable[[MetadataMessage], None]) -> None:
+        """Register a local Emulation Manager/Core consumer."""
+        self._local_subscribers.append(callback)
+
+    def peers(self) -> List[str]:
+        return sorted(self._peers)
+
+    # ----------------------------------------------------------- publishing
+    def publish(self, message: MetadataMessage) -> None:
+        """Deliver to local subscribers (shared memory) and all peers (UDP)."""
+        self.publish_local(message)
+        for machine in self.peers():
+            self.publish_to(machine, message)
+
+    def publish_local(self, message: MetadataMessage) -> None:
+        self.stats.shared_memory_messages += 1
+        for subscriber in self._local_subscribers:
+            subscriber(message)
+
+    def publish_to(self, machine: str, message: MetadataMessage) -> None:
+        """Encode and ship one UDP publication to a specific peer."""
+        peer = self._peers.get(machine)
+        if peer is None:
+            raise KeyError(f"{self.machine}: unknown peer machine {machine!r}")
+        payload = encode_message(message, wide=self.wide_ids)
+        datagrams = max(1, -(-len(payload) // DATAGRAM_PAYLOAD_BYTES))
+        self.stats.bytes_sent += len(payload)
+        self.stats.datagrams_sent += datagrams
+
+        def deliver() -> None:
+            peer.stats.bytes_received += len(payload)
+            peer.stats.datagrams_received += datagrams
+            decoded = decode_message(payload, sender=message.sender,
+                                     wide=self.wide_ids)
+            for subscriber in peer._local_subscribers:
+                subscriber(decoded)
+
+        self.sim.after(self.network_delay, deliver, label="metadata-udp")

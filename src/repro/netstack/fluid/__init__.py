@@ -1,0 +1,27 @@
+"""Time-stepped fluid-flow engine for bulk TCP/UDP traffic.
+
+Per-packet simulation of saturating gigabit flows is intractable at the
+paper's scale, so bulk transfers use the standard fluid approximation: each
+flow carries a congestion window evolved by AIMD (Reno) or the Cubic window
+function, its offered rate is ``min(app demand, cwnd/RTT)``, and link
+capacities are divided among competing flows by RTT-weighted max-min —
+the equilibrium real TCP converges to.  Loss events (from buffer overflow at
+saturated links, or injected by netem) trigger multiplicative back-off, and
+the whole system is integrated with a fixed step (default 10 ms).
+"""
+
+from repro.netstack.fluid.flow import FluidFlow
+from repro.netstack.fluid.engine import (
+    ConstraintProvider,
+    FluidEngine,
+    GroundTruthConstraints,
+    ShapedConstraints,
+)
+
+__all__ = [
+    "FluidFlow",
+    "FluidEngine",
+    "ConstraintProvider",
+    "GroundTruthConstraints",
+    "ShapedConstraints",
+]

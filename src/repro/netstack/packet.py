@@ -1,0 +1,33 @@
+"""The packet unit exchanged over the packet-level data planes."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Packet"]
+
+_sequence = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One network packet (sizes in bits).
+
+    ``kind`` tags the traffic type (``data``, ``icmp``, ``ack``, ``rpc``);
+    ``payload`` carries opaque application data; ``created`` is stamped by
+    the sender so receivers can measure one-way delay and RTT.
+    """
+
+    source: str
+    destination: str
+    size_bits: float
+    kind: str = "data"
+    payload: Any = None
+    created: float = 0.0
+    seq: int = field(default_factory=lambda: next(_sequence))
+    hops: int = 0
+
+    def age(self, now: float) -> float:
+        return now - self.created

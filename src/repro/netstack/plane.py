@@ -1,0 +1,32 @@
+"""The data-plane interface shared by all network implementations."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.netstack.packet import Packet
+
+__all__ = ["DataPlane", "DeliveryCallback"]
+
+DeliveryCallback = Callable[[Packet], None]
+
+
+class DataPlane(Protocol):
+    """Anything that can carry packets between containers.
+
+    Implementations: :class:`~repro.netstack.fullnet.FullStateNetwork`
+    (ground truth / full-state emulators) and
+    :class:`~repro.netstack.kollapsnet.KollapsDataPlane` (the collapsed
+    emulation).  Applications are written against this protocol only, so the
+    same unmodified workload runs on either plane — the reproduction of the
+    paper's "unmodified application" property.
+    """
+
+    def send(self, packet: Packet, deliver: DeliveryCallback, *,
+             on_drop: Optional[DeliveryCallback] = None) -> None:
+        """Inject ``packet``; ``deliver`` fires at the destination."""
+        ...
+
+    def reachable(self, source: str, destination: str) -> bool:
+        """Whether the plane currently routes source -> destination."""
+        ...

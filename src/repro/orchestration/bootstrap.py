@@ -1,0 +1,54 @@
+"""The Swarm bootstrapping flow (§4 "Privileged bootstrapping").
+
+Docker Swarm cannot grant ``CAP_NET_ADMIN`` to service containers, so a
+bootstrapper container deployed globally (one per machine) launches the
+privileged Emulation Manager *outside* Swarm, sharing the host PID
+namespace.  The manager then watches the local Docker daemon for container
+creations and attaches an Emulation Core to every container carrying the
+Kollaps supervision tag.
+
+This module reproduces that control flow as explicit state so the tests can
+assert the sequencing (bootstrap -> manager -> core per tagged container)
+and that untagged containers are left alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.orchestration.generator import KOLLAPS_TAG
+
+__all__ = ["SwarmBootstrapper", "LaunchedManager"]
+
+
+@dataclass
+class LaunchedManager:
+    """The privileged Emulation Manager process a bootstrapper started."""
+
+    machine: str
+    privileged: bool = True
+    shares_host_pid: bool = True
+    supervised_containers: List[str] = field(default_factory=list)
+
+    def on_container_created(self, container: str,
+                             labels: Dict[str, str]) -> bool:
+        """Docker-daemon watch callback; returns True when supervised."""
+        if labels.get(KOLLAPS_TAG) != "true":
+            return False
+        self.supervised_containers.append(container)
+        return True
+
+
+class SwarmBootstrapper:
+    """One bootstrapper per Swarm node."""
+
+    def __init__(self, machine: str) -> None:
+        self.machine = machine
+        self.manager: Optional[LaunchedManager] = None
+
+    def bootstrap(self) -> LaunchedManager:
+        """Launch the Emulation Manager outside Swarm (idempotent)."""
+        if self.manager is None:
+            self.manager = LaunchedManager(machine=self.machine)
+        return self.manager

@@ -1,0 +1,113 @@
+"""Service-name resolution: the Swarm DNS / Kubernetes API stand-in.
+
+At initialization each Emulation Core "resolves the names of all services
+to obtain their IP addresses via the internal Swarm discovering service or
+Kubernetes's API" (§4.1).  This module models both resolution styles over
+the simulated cluster:
+
+* :class:`SwarmDiscovery` — Swarm-style: a service name resolves to a
+  virtual IP plus the set of task (container) addresses; individual
+  replicas resolve via the ``tasks.<service>`` convention.
+* :class:`KubernetesDiscovery` — API-style: endpoints are looked up per
+  service and carry readiness; a container only appears once marked ready.
+
+Both are thin, deterministic facades over the same
+:class:`~repro.tc.ip.IpAllocator` the engine uses, so a resolved address is
+always the address the TCAL filters match on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.tc.ip import IpAllocator
+from repro.topology.model import Topology, TopologyError
+
+__all__ = ["ResolutionError", "Endpoint", "SwarmDiscovery",
+           "KubernetesDiscovery"]
+
+
+class ResolutionError(LookupError):
+    """A name that the discovery service cannot resolve."""
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One resolvable container address."""
+
+    container: str
+    address: str
+    ready: bool = True
+
+
+class _DiscoveryBase:
+    """Shared mapping from topology services to allocated addresses."""
+
+    def __init__(self, topology: Topology, allocator: IpAllocator) -> None:
+        self._topology = topology
+        self._allocator = allocator
+        self._endpoints: Dict[str, List[Endpoint]] = {}
+        for service in topology.services.values():
+            endpoints = []
+            for container in service.container_names():
+                endpoints.append(Endpoint(
+                    container, str(allocator.assign(container))))
+            self._endpoints[service.name] = endpoints
+
+    def services(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    def _service_endpoints(self, service: str) -> List[Endpoint]:
+        try:
+            return self._endpoints[service]
+        except KeyError:
+            raise ResolutionError(f"unknown service {service!r}") from None
+
+
+class SwarmDiscovery(_DiscoveryBase):
+    """Swarm-style DNS: service VIPs and ``tasks.<service>`` expansion."""
+
+    def resolve(self, name: str) -> str:
+        """Resolve a service or container name to one address.
+
+        A bare service name returns the first task's address (standing in
+        for the VIP); a concrete container name (``svc.2``) returns that
+        container's address.
+        """
+        if name in self._endpoints:
+            return self._endpoints[name][0].address
+        try:
+            return str(self._allocator.lookup(name))
+        except KeyError:
+            raise ResolutionError(f"cannot resolve {name!r}") from None
+
+    def resolve_tasks(self, service: str) -> List[str]:
+        """``tasks.<service>``: every replica's address, in replica order."""
+        return [endpoint.address
+                for endpoint in self._service_endpoints(service)]
+
+
+class KubernetesDiscovery(_DiscoveryBase):
+    """Kubernetes-API-style lookup with per-endpoint readiness."""
+
+    def __init__(self, topology: Topology, allocator: IpAllocator) -> None:
+        super().__init__(topology, allocator)
+        self._ready: Dict[str, bool] = {
+            endpoint.container: True
+            for endpoints in self._endpoints.values()
+            for endpoint in endpoints}
+
+    def set_ready(self, container: str, ready: bool) -> None:
+        if container not in self._ready:
+            raise ResolutionError(f"unknown container {container!r}")
+        self._ready[container] = ready
+
+    def endpoints(self, service: str) -> List[Endpoint]:
+        """The service's endpoint list, readiness included."""
+        return [Endpoint(e.container, e.address, self._ready[e.container])
+                for e in self._service_endpoints(service)]
+
+    def ready_addresses(self, service: str) -> List[str]:
+        return [endpoint.address for endpoint in self.endpoints(service)
+                if endpoint.ready]

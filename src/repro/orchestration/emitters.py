@@ -1,0 +1,112 @@
+"""Render deployment plans as Compose / Kubernetes manifest files.
+
+The real Deployment Generator writes ``docker-compose.yml`` or Kubernetes
+manifest files that "users can customize before starting an actual
+deployment" (§4).  This module serializes the plan documents produced by
+:class:`~repro.orchestration.generator.DeploymentGenerator` into YAML text.
+
+The serializer is deliberately small and self-contained (no PyYAML
+dependency): it emits the subset of YAML the plan documents need — nested
+mappings, sequences, strings, numbers and booleans — with deterministic key
+order so generated files diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.orchestration.generator import DeploymentPlan
+
+__all__ = ["to_yaml", "render_compose_file", "render_kubernetes_manifests",
+           "render_plan"]
+
+# Strings that are safe to emit without quotes.  Anything that could be
+# mistaken for another YAML scalar type (numbers, booleans, null, flow
+# syntax) gets quoted.
+_PLAIN_RE = re.compile(r"^[A-Za-z/][A-Za-z0-9_./:\- ]*$")
+_AMBIGUOUS = {"true", "false", "null", "yes", "no", "on", "off", "~"}
+
+
+def _scalar(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if value is None:
+        return "null"
+    text = str(value)
+    # ':' is only safe in a plain scalar when not followed by a space (so
+    # volume specs like "/a:/b:ro" stay unquoted but "needs: quoting" not).
+    if (_PLAIN_RE.match(text) and text.lower() not in _AMBIGUOUS
+            and not text.endswith((" ", ":")) and ": " not in text):
+        return text
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _emit(value: object, indent: int, lines: List[str]) -> None:
+    prefix = "  " * indent
+    if isinstance(value, dict):
+        if not value:
+            lines[-1] += " {}"
+            return
+        for key, item in value.items():
+            lines.append(f"{prefix}{_scalar(key)}:")
+            if isinstance(item, (dict, list)):
+                _emit(item, indent + 1, lines)
+            else:
+                lines[-1] += f" {_scalar(item)}"
+    elif isinstance(value, list):
+        if not value:
+            lines[-1] += " []"
+            return
+        for item in value:
+            lines.append(f"{prefix}-")
+            if isinstance(item, (dict, list)):
+                _emit_inline_block(item, indent, lines)
+            else:
+                lines[-1] += f" {_scalar(item)}"
+    else:  # pragma: no cover - callers always pass containers
+        lines.append(f"{prefix}{_scalar(value)}")
+
+
+def _emit_inline_block(item: object, indent: int, lines: List[str]) -> None:
+    """Emit a mapping/sequence as the body of a ``-`` list entry."""
+    marker_line = len(lines) - 1
+    _emit(item, indent + 1, lines)
+    # Fold the first child line onto the '-' marker ("- key: value").
+    if len(lines) > marker_line + 1:
+        first_child = lines[marker_line + 1].lstrip()
+        lines[marker_line] += " " + first_child
+        del lines[marker_line + 1]
+
+
+def to_yaml(document: Dict) -> str:
+    """Serialize a plan document to YAML text (trailing newline included)."""
+    lines: List[str] = []
+    _emit(document, 0, lines)
+    return "\n".join(lines) + "\n"
+
+
+def render_compose_file(plan: DeploymentPlan) -> str:
+    """The ``docker-compose.yml`` for a Swarm plan."""
+    if plan.orchestrator != "swarm":
+        raise ValueError(f"not a swarm plan: {plan.orchestrator!r}")
+    return to_yaml(plan.document)
+
+
+def render_kubernetes_manifests(plan: DeploymentPlan) -> str:
+    """Kubernetes manifests as one multi-document YAML stream."""
+    if plan.orchestrator != "kubernetes":
+        raise ValueError(f"not a kubernetes plan: {plan.orchestrator!r}")
+    documents = [to_yaml(item) for item in plan.document["items"]]
+    return "---\n" + "---\n".join(documents)
+
+
+def render_plan(plan: DeploymentPlan) -> str:
+    """Dispatch on the plan's orchestrator."""
+    if plan.orchestrator == "swarm":
+        return render_compose_file(plan)
+    if plan.orchestrator == "kubernetes":
+        return render_kubernetes_manifests(plan)
+    raise ValueError(f"unknown orchestrator {plan.orchestrator!r}")

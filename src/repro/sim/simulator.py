@@ -1,0 +1,169 @@
+"""The discrete-event simulator: clock, event queue and processes.
+
+Design notes
+------------
+The kernel is a classic calendar queue built on :mod:`heapq`.  Events are
+ordered by ``(time, priority, sequence)``; the monotonically increasing
+sequence number makes the ordering total and therefore the whole simulation
+deterministic for a fixed set of seeds.
+
+Callbacks are plain callables.  Periodic activities (the Kollaps emulation
+loop, application request generators, the fluid-engine integrator) are
+modelled as :class:`Process` objects which reschedule themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Simulator", "Event", "Process", "SimError"]
+
+
+class SimError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Comparison uses (time, priority, seq) only."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the dispatcher skips it (O(1) lazy deletion)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop with a simulated clock starting at time 0.0 seconds."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.events_dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def at(self, time: float, callback: Callable[[], None], *,
+           priority: int = 0, label: str = "") -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimError(
+                f"cannot schedule event at {time:.9f}, now is {self._now:.9f}")
+        event = Event(time, priority, next(self._seq), callback, label=label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, callback: Callable[[], None], *,
+              priority: int = 0, label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimError(f"negative delay: {delay}")
+        return self.at(self._now + delay, callback, priority=priority, label=label)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events in order until the queue drains or ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run`` calls
+        compose naturally.  Returns the final simulated time.
+        """
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self.events_dispatched += 1
+                event.callback()
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def step(self) -> bool:
+        """Dispatch a single event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_dispatched += 1
+            event.callback()
+            return True
+        return False
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+
+class Process:
+    """A periodic activity: calls :meth:`tick` every ``period`` seconds.
+
+    Subclasses override :meth:`tick`; alternatively a callable can be passed
+    directly.  The process stops when :meth:`stop` is called or when
+    :meth:`tick` returns ``False``.
+    """
+
+    def __init__(self, sim: Simulator, period: float,
+                 tick: Optional[Callable[[], Any]] = None, *,
+                 name: str = "", start_after: float = 0.0,
+                 priority: int = 0) -> None:
+        if period <= 0:
+            raise SimError(f"process period must be positive, got {period}")
+        self.sim = sim
+        self.period = period
+        self.name = name or type(self).__name__
+        self._tick_fn = tick
+        self._priority = priority
+        self._stopped = False
+        self._event: Optional[Event] = None
+        self.ticks = 0
+        self._event = sim.after(start_after, self._run, priority=priority,
+                                label=self.name)
+
+    def tick(self) -> Any:
+        """One iteration of the activity; override or pass ``tick=`` at init."""
+        if self._tick_fn is None:
+            raise NotImplementedError
+        return self._tick_fn()
+
+    def _run(self) -> None:
+        if self._stopped:
+            return
+        result = self.tick()
+        self.ticks += 1
+        if result is False or self._stopped:
+            self._stopped = True
+            return
+        self._event = self.sim.after(self.period, self._run,
+                                     priority=self._priority, label=self.name)
+
+    def stop(self) -> None:
+        """Stop the process; any queued tick is cancelled."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped

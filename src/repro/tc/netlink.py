@@ -1,0 +1,303 @@
+"""rtnetlink wire format and the TCAL's kernel channel (§3, §4.1).
+
+The real TCAL avoids spawning a ``tc`` process per update: "we rely on
+netlink sockets that communicate directly with the kernel".  This module
+reproduces that interface at the byte level:
+
+* :func:`encode_message` / :func:`decode_message` — netlink framing
+  (``nlmsghdr``), the traffic-control payload (``tcmsg``) and nested
+  type-length-value attributes with the kernel's 4-byte alignment;
+* command builders for the operations the Emulation Core issues every
+  loop: change an htb class rate, change netem parameters, read and reset
+  class byte counters;
+* :class:`KernelTcDispatcher` — the "kernel side": decodes a request,
+  applies it to a :class:`~repro.tc.tcal.Tcal`, and encodes the reply.
+
+The byte format follows ``linux/netlink.h`` / ``linux/rtnetlink.h``
+closely enough that the framing invariants (alignment, length prefixes,
+attribute nesting) are real; the attribute *numbers* are scoped to this
+project rather than copied from kernel headers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "NetlinkError",
+    "Attribute",
+    "NetlinkMessage",
+    "encode_message",
+    "decode_message",
+    "new_tclass_request",
+    "new_netem_request",
+    "get_stats_request",
+    "KernelTcDispatcher",
+    "RTM_NEWTCLASS",
+    "RTM_NEWQDISC",
+    "RTM_GETTCLASS",
+    "NLMSG_ERROR",
+    "NLMSG_DONE",
+]
+
+
+class NetlinkError(ValueError):
+    """Malformed netlink frame or an unsupported request."""
+
+
+# Message types (rtnetlink numbering for the real ones).
+RTM_NEWQDISC = 36
+RTM_NEWTCLASS = 40
+RTM_GETTCLASS = 42
+NLMSG_ERROR = 2
+NLMSG_DONE = 3
+
+# Attribute types (project-scoped).
+TCA_KIND = 1          # qdisc kind: b"htb" / b"netem"
+TCA_RATE = 2          # u64, bits per second
+TCA_LATENCY = 3       # u64, nanoseconds
+TCA_JITTER = 4        # u64, nanoseconds
+TCA_LOSS = 5          # u32, loss probability scaled by 2**32 - 1 (netem's
+                      # own fixed-point convention)
+TCA_STATS_BYTES = 6   # u64, bytes since last poll
+TCA_CLASS_NAME = 7    # destination container name, NUL-terminated
+TCA_NESTED_STATS = 8  # nested: one TCA_CLASS_NAME + TCA_STATS_BYTES each
+
+_NLMSGHDR = struct.Struct("<IHHII")   # length, type, flags, seq, pid
+_TCMSG = struct.Struct("<BxxxiIII")   # family, ifindex, handle, parent, info
+_NLATTR = struct.Struct("<HH")        # length, type
+
+_LOSS_SCALE = 0xFFFFFFFF
+
+
+def _align4(length: int) -> int:
+    return (length + 3) & ~3
+
+
+@dataclass
+class Attribute:
+    """One netlink TLV attribute; ``value`` is raw bytes."""
+
+    kind: int
+    value: bytes
+
+    @classmethod
+    def u32(cls, kind: int, value: int) -> "Attribute":
+        return cls(kind, struct.pack("<I", value))
+
+    @classmethod
+    def u64(cls, kind: int, value: int) -> "Attribute":
+        return cls(kind, struct.pack("<Q", value))
+
+    @classmethod
+    def string(cls, kind: int, text: str) -> "Attribute":
+        return cls(kind, text.encode() + b"\x00")
+
+    @classmethod
+    def nested(cls, kind: int, attributes: List["Attribute"]) -> "Attribute":
+        return cls(kind, _encode_attributes(attributes))
+
+    def as_u32(self) -> int:
+        if len(self.value) != 4:
+            raise NetlinkError(f"attribute {self.kind} is not a u32")
+        return struct.unpack("<I", self.value)[0]
+
+    def as_u64(self) -> int:
+        if len(self.value) != 8:
+            raise NetlinkError(f"attribute {self.kind} is not a u64")
+        return struct.unpack("<Q", self.value)[0]
+
+    def as_string(self) -> str:
+        return self.value.rstrip(b"\x00").decode()
+
+    def as_nested(self) -> List["Attribute"]:
+        return _decode_attributes(self.value)
+
+
+@dataclass
+class NetlinkMessage:
+    """A decoded netlink frame: header fields + tcmsg + attributes."""
+
+    kind: int
+    sequence: int
+    handle: int = 0
+    parent: int = 0
+    attributes: List[Attribute] = field(default_factory=list)
+
+    def attribute(self, kind: int) -> Attribute:
+        for attribute in self.attributes:
+            if attribute.kind == kind:
+                return attribute
+        raise NetlinkError(f"missing attribute {kind}")
+
+    def maybe(self, kind: int) -> Optional[Attribute]:
+        for attribute in self.attributes:
+            if attribute.kind == kind:
+                return attribute
+        return None
+
+
+def _encode_attributes(attributes: List[Attribute]) -> bytes:
+    chunks = []
+    for attribute in attributes:
+        length = _NLATTR.size + len(attribute.value)
+        chunks.append(_NLATTR.pack(length, attribute.kind))
+        chunks.append(attribute.value)
+        chunks.append(b"\x00" * (_align4(length) - length))
+    return b"".join(chunks)
+
+
+def _decode_attributes(payload: bytes) -> List[Attribute]:
+    attributes = []
+    offset = 0
+    while offset < len(payload):
+        if offset + _NLATTR.size > len(payload):
+            raise NetlinkError("truncated attribute header")
+        length, kind = _NLATTR.unpack_from(payload, offset)
+        if length < _NLATTR.size or offset + length > len(payload):
+            raise NetlinkError(f"bad attribute length {length}")
+        value = payload[offset + _NLATTR.size:offset + length]
+        attributes.append(Attribute(kind, value))
+        offset += _align4(length)
+    return attributes
+
+
+def encode_message(message: NetlinkMessage) -> bytes:
+    """Serialize to the on-wire frame (nlmsghdr + tcmsg + attributes)."""
+    body = _TCMSG.pack(0, 0, message.handle, message.parent, 0)
+    body += _encode_attributes(message.attributes)
+    total = _NLMSGHDR.size + len(body)
+    header = _NLMSGHDR.pack(total, message.kind, 0, message.sequence, 0)
+    return header + body
+
+
+def decode_message(frame: bytes) -> NetlinkMessage:
+    """Parse one frame; validates lengths and alignment."""
+    if len(frame) < _NLMSGHDR.size:
+        raise NetlinkError("frame shorter than nlmsghdr")
+    total, kind, _flags, sequence, _pid = _NLMSGHDR.unpack_from(frame)
+    if total != len(frame):
+        raise NetlinkError(f"length field {total} != frame size {len(frame)}")
+    body = frame[_NLMSGHDR.size:]
+    if len(body) < _TCMSG.size:
+        raise NetlinkError("frame shorter than tcmsg")
+    _family, _ifindex, handle, parent, _info = _TCMSG.unpack_from(body)
+    attributes = _decode_attributes(body[_TCMSG.size:])
+    return NetlinkMessage(kind=kind, sequence=sequence, handle=handle,
+                          parent=parent, attributes=attributes)
+
+
+# ------------------------------------------------------------ request builders
+def new_tclass_request(sequence: int, destination: str,
+                       rate_bps: float) -> bytes:
+    """RTM_NEWTCLASS: set the htb class rate towards ``destination``."""
+    return encode_message(NetlinkMessage(
+        kind=RTM_NEWTCLASS, sequence=sequence,
+        attributes=[Attribute.string(TCA_KIND, "htb"),
+                    Attribute.string(TCA_CLASS_NAME, destination),
+                    Attribute.u64(TCA_RATE, int(rate_bps))]))
+
+
+def new_netem_request(sequence: int, destination: str, *,
+                      latency: Optional[float] = None,
+                      jitter: Optional[float] = None,
+                      loss: Optional[float] = None) -> bytes:
+    """RTM_NEWQDISC: reconfigure the netem qdisc towards ``destination``."""
+    attributes = [Attribute.string(TCA_KIND, "netem"),
+                  Attribute.string(TCA_CLASS_NAME, destination)]
+    if latency is not None:
+        attributes.append(Attribute.u64(TCA_LATENCY, int(latency * 1e9)))
+    if jitter is not None:
+        attributes.append(Attribute.u64(TCA_JITTER, int(jitter * 1e9)))
+    if loss is not None:
+        if not 0.0 <= loss <= 1.0:
+            raise NetlinkError(f"loss outside [0,1]: {loss}")
+        attributes.append(Attribute.u32(TCA_LOSS,
+                                        int(loss * _LOSS_SCALE)))
+    return encode_message(NetlinkMessage(kind=RTM_NEWQDISC,
+                                         sequence=sequence,
+                                         attributes=attributes))
+
+
+def get_stats_request(sequence: int) -> bytes:
+    """RTM_GETTCLASS: read-and-reset all class byte counters."""
+    return encode_message(NetlinkMessage(kind=RTM_GETTCLASS,
+                                         sequence=sequence))
+
+
+# ----------------------------------------------------------------- the kernel
+class KernelTcDispatcher:
+    """The kernel side of the TCAL's netlink socket.
+
+    Decodes requests, applies them to the container's :class:`Tcal`, and
+    returns the encoded reply — NLMSG_DONE on success (with the stats dump
+    for RTM_GETTCLASS), NLMSG_ERROR carrying the failure for bad requests.
+    """
+
+    def __init__(self, tcal) -> None:
+        self.tcal = tcal
+        self.requests_served = 0
+
+    def handle(self, frame: bytes) -> bytes:
+        try:
+            request = decode_message(frame)
+            reply = self._dispatch(request)
+        except (NetlinkError, KeyError, ValueError) as error:
+            sequence = 0
+            try:
+                sequence = decode_message(frame).sequence
+            except NetlinkError:
+                pass
+            return encode_message(NetlinkMessage(
+                kind=NLMSG_ERROR, sequence=sequence,
+                attributes=[Attribute.string(TCA_KIND, str(error))]))
+        self.requests_served += 1
+        return reply
+
+    def _dispatch(self, request: NetlinkMessage) -> bytes:
+        if request.kind == RTM_NEWTCLASS:
+            destination = request.attribute(TCA_CLASS_NAME).as_string()
+            rate = request.attribute(TCA_RATE).as_u64()
+            self.tcal.set_bandwidth(destination, float(rate))
+            return encode_message(NetlinkMessage(
+                kind=NLMSG_DONE, sequence=request.sequence))
+        if request.kind == RTM_NEWQDISC:
+            destination = request.attribute(TCA_CLASS_NAME).as_string()
+            latency = request.maybe(TCA_LATENCY)
+            jitter = request.maybe(TCA_JITTER)
+            loss = request.maybe(TCA_LOSS)
+            self.tcal.set_netem(
+                destination,
+                latency=(latency.as_u64() / 1e9 if latency else None),
+                jitter=(jitter.as_u64() / 1e9 if jitter else None),
+                loss=(loss.as_u32() / _LOSS_SCALE if loss else None))
+            return encode_message(NetlinkMessage(
+                kind=NLMSG_DONE, sequence=request.sequence))
+        if request.kind == RTM_GETTCLASS:
+            entries = []
+            for destination, bits in self.tcal.poll_usage().items():
+                entries.append(Attribute.nested(TCA_NESTED_STATS, [
+                    Attribute.string(TCA_CLASS_NAME, destination),
+                    Attribute.u64(TCA_STATS_BYTES, int(bits // 8)),
+                ]))
+            return encode_message(NetlinkMessage(
+                kind=NLMSG_DONE, sequence=request.sequence,
+                attributes=entries))
+        raise NetlinkError(f"unsupported message type {request.kind}")
+
+
+def decode_stats_reply(frame: bytes) -> Dict[str, float]:
+    """Parse an RTM_GETTCLASS reply into destination -> bits."""
+    reply = decode_message(frame)
+    if reply.kind == NLMSG_ERROR:
+        raise NetlinkError(reply.attribute(TCA_KIND).as_string())
+    usage: Dict[str, float] = {}
+    for attribute in reply.attributes:
+        if attribute.kind != TCA_NESTED_STATS:
+            continue
+        nested = {inner.kind: inner for inner in attribute.as_nested()}
+        name = nested[TCA_CLASS_NAME].as_string()
+        usage[name] = nested[TCA_STATS_BYTES].as_u64() * 8.0
+    return usage

@@ -1,0 +1,171 @@
+"""The TC Abstraction Layer (TCAL).
+
+One TCAL instance is attached to each emulated container's network
+namespace.  It owns the egress shaping chain for that container: a u32
+filter classifying by destination address into per-destination netem + htb
+stages, and it exposes the three operations the Emulation Core needs (§4.1):
+
+* ``init`` — install the initial per-destination chains from the collapsed
+  topology,
+* ``get usage`` — read and reset per-destination byte counters (the netlink
+  round-trip in the real system),
+* ``set bandwidth / set netem`` — enforce the rates the sharing model
+  computed and the loss the congestion model injected.
+
+Egress processing order follows the paper: netem first (latency, jitter,
+loss), then the parent htb class (bandwidth).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.tc.htb import BackPressure, HtbClass, HtbQdisc
+from repro.tc.ip import IpAllocator, Ipv4Address
+from repro.tc.netem import NetemQdisc
+from repro.tc.u32 import U32Filter
+
+__all__ = ["Tcal", "PathShaping"]
+
+
+@dataclass
+class PathShaping:
+    """The netem + htb pair shaping traffic towards one destination.
+
+    ``bits_since_poll`` counts traffic the chain carried;
+    ``refused_since_poll`` counts offered load that was *abandoned* at a
+    full queue (a non-blocking sender seeing EAGAIN — UDP-style traffic).
+    Their sum is the *requested* bandwidth of §3's congestion model.
+    Blocking senders are deliberately not counted here: their packets are
+    queued and carried later, so counting the refusal too would double the
+    apparent demand of a merely flow-controlled TCP stream.
+    """
+
+    class_id: int
+    netem: NetemQdisc
+    htb: HtbClass
+    destination: str
+    bits_since_poll: float = 0.0
+    refused_since_poll: float = 0.0
+
+    def record(self, size_bits: float) -> None:
+        self.bits_since_poll += size_bits
+
+    def record_refused(self, size_bits: float) -> None:
+        self.refused_since_poll += size_bits
+
+
+class Tcal:
+    """Per-container egress shaping facade."""
+
+    def __init__(self, container: str, allocator: IpAllocator, *,
+                 rng: Optional[random.Random] = None,
+                 default_rate: float = 10e9) -> None:
+        self.container = container
+        self.allocator = allocator
+        self.rng = rng
+        self.filter = U32Filter()
+        self.qdisc = HtbQdisc(default_rate)
+        self._paths: Dict[str, PathShaping] = {}
+        self._next_class = 1
+        self.netlink_calls = 0
+
+    # ----------------------------------------------------------------- setup
+    def install_destination(self, destination: str, *, latency: float,
+                            jitter: float, loss: float, bandwidth: float,
+                            distribution: str = "normal") -> PathShaping:
+        """Create (or reconfigure) the shaping chain towards a destination."""
+        existing = self._paths.get(destination)
+        if existing is not None:
+            existing.netem.configure(latency=latency, jitter=jitter,
+                                     loss=loss, distribution=distribution)
+            existing.htb.set_rate(bandwidth)
+            return existing
+        class_id = self._next_class
+        self._next_class += 1
+        address = self.allocator.lookup(destination)
+        self.filter.add_match(address, class_id)
+        htb_class = self.qdisc.ensure_class(class_id, bandwidth)
+        netem = NetemQdisc(latency=latency, jitter=jitter, loss=loss,
+                           distribution=distribution, rng=self.rng)
+        shaping = PathShaping(class_id, netem, htb_class, destination)
+        self._paths[destination] = shaping
+        return shaping
+
+    def remove_destination(self, destination: str) -> None:
+        shaping = self._paths.pop(destination, None)
+        if shaping is None:
+            raise KeyError(f"no shaping chain towards {destination!r}")
+        self.filter.remove_match(self.allocator.lookup(destination))
+
+    def destinations(self) -> Tuple[str, ...]:
+        return tuple(self._paths)
+
+    def shaping_for(self, destination: str) -> PathShaping:
+        try:
+            return self._paths[destination]
+        except KeyError:
+            raise KeyError(
+                f"{self.container}: no chain towards {destination!r}") from None
+
+    # ------------------------------------------------------------- data path
+    def egress(self, now: float, destination: str,
+               size_bits: float) -> Optional[float]:
+        """Push one packet through netem then htb.
+
+        Returns the simulated time at which the packet leaves this host
+        (shaping delay applied), or ``None`` if netem dropped it.  Raises
+        :class:`BackPressure` when the htb queue is full.
+        """
+        shaping = self.shaping_for(destination)
+        added_delay = shaping.netem.process()
+        if added_delay is None:
+            return None
+        release = shaping.htb.enqueue(now, size_bits)
+        shaping.record(size_bits)
+        return release + added_delay
+
+    def classify(self, address: Ipv4Address) -> Optional[int]:
+        return self.filter.classify(address)
+
+    # ----------------------------------------------------------- enforcement
+    def set_bandwidth(self, destination: str, rate: float) -> None:
+        """netlink-style rate update on the destination's htb class."""
+        self.shaping_for(destination).htb.set_rate(rate)
+        self.netlink_calls += 1
+
+    def set_netem(self, destination: str, *, latency: Optional[float] = None,
+                  jitter: Optional[float] = None,
+                  loss: Optional[float] = None) -> None:
+        self.shaping_for(destination).netem.configure(
+            latency=latency, jitter=jitter, loss=loss)
+        self.netlink_calls += 1
+
+    # ------------------------------------------------------------ monitoring
+    def poll_usage(self) -> Dict[str, float]:
+        """Per-destination bits sent since the previous poll (then reset).
+
+        This is the Emulation Core's step (2): "obtain the bandwidth usage
+        by querying the TCAL".
+        """
+        self.netlink_calls += 1
+        usage = {}
+        for destination, shaping in self._paths.items():
+            usage[destination] = shaping.bits_since_poll
+            shaping.bits_since_poll = 0.0
+        return usage
+
+    def poll_refused(self) -> Dict[str, float]:
+        """Per-destination bits turned away since the previous poll.
+
+        The back-pressure counterpart of :meth:`poll_usage`: offered load
+        the shaping refused, i.e. the qdisc backlog/requeue statistics the
+        congestion model reads to detect oversubscription (§3).
+        """
+        refused = {}
+        for destination, shaping in self._paths.items():
+            refused[destination] = shaping.refused_since_poll
+            shaping.refused_since_poll = 0.0
+        return refused

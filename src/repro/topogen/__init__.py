@@ -1,0 +1,44 @@
+"""Topology generators for the evaluation workloads.
+
+* :mod:`repro.topogen.simple` — point-to-point, dumbbell, star and tree
+  shapes used by the micro-benchmarks (§5.1–5.3),
+* :mod:`repro.topogen.scale_free` — Barabási–Albert preferential-attachment
+  Internet-like topologies (§5.5, Table 4),
+* :mod:`repro.topogen.aws` — Amazon EC2 inter-region latency/jitter data and
+  geo-distributed topology builders (Table 3, §5.6),
+* :mod:`repro.topogen.section54` — the six-client/three-bridge/six-server
+  topology of the decentralized-throttling experiment (Figure 8),
+* :mod:`repro.topogen.datacenter` — fat-tree and jellyfish fabrics for the
+  §7 data-center / time-dilation studies.
+"""
+
+from repro.topogen.simple import (
+    dumbbell_topology,
+    point_to_point_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.topogen.scale_free import scale_free_topology
+from repro.topogen.aws import (
+    AWS_REGION_LATENCY_FROM_US_EAST_1,
+    INTER_REGION_RTT_MS,
+    aws_mesh_topology,
+    aws_star_topology,
+)
+from repro.topogen.section54 import throttling_topology
+from repro.topogen.datacenter import fat_tree_topology, jellyfish_topology
+
+__all__ = [
+    "fat_tree_topology",
+    "jellyfish_topology",
+    "point_to_point_topology",
+    "dumbbell_topology",
+    "star_topology",
+    "tree_topology",
+    "scale_free_topology",
+    "aws_star_topology",
+    "aws_mesh_topology",
+    "AWS_REGION_LATENCY_FROM_US_EAST_1",
+    "INTER_REGION_RTT_MS",
+    "throttling_topology",
+]

@@ -1,0 +1,163 @@
+"""Dynamic topology events (the paper's Listing 2).
+
+An :class:`EventSchedule` is an ordered list of :class:`DynamicEvent`
+objects.  Applying the schedule to a base :class:`Topology` yields the
+sequence of topology snapshots the Emulation Manager pre-computes offline
+(§3, "Dynamic Topologies") so that even sub-second dynamics can be enacted
+with no online graph recomputation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.model import (
+    Bridge,
+    LinkProperties,
+    Service,
+    Topology,
+    TopologyError,
+)
+
+__all__ = ["EventAction", "DynamicEvent", "EventSchedule"]
+
+
+class EventAction(enum.Enum):
+    """What a dynamic event does to the topology."""
+
+    SET_LINK = "set_link"      # change properties of an existing link
+    JOIN_LINK = "join_link"    # add a link
+    LEAVE_LINK = "leave_link"  # remove a link
+    JOIN_NODE = "join"         # (re-)add a service or bridge
+    LEAVE_NODE = "leave"       # remove a service or bridge
+
+
+@dataclass
+class DynamicEvent:
+    """A single timed mutation.
+
+    ``time`` is seconds from experiment start.  For link events ``origin``
+    and ``destination`` name the endpoints; for node events ``name`` names
+    the service or bridge.  ``properties`` carries the new link properties
+    (for SET_LINK only the fields present in ``changes`` are overridden).
+    """
+
+    time: float
+    action: EventAction
+    origin: Optional[str] = None
+    destination: Optional[str] = None
+    name: Optional[str] = None
+    properties: Optional[LinkProperties] = None
+    changes: Dict[str, float] = field(default_factory=dict)
+    bidirectional: bool = True
+
+    def apply(self, topology: Topology,
+              registry: Optional[Dict[str, object]] = None) -> None:
+        """Mutate ``topology`` in place according to this event.
+
+        ``registry`` maps node names to their original :class:`Service` /
+        :class:`Bridge` definitions so a ``join`` after a ``leave`` restores
+        the node with its initial configuration.
+        """
+        if self.action is EventAction.SET_LINK:
+            self._apply_set_link(topology)
+        elif self.action is EventAction.JOIN_LINK:
+            if self.properties is None:
+                raise TopologyError("join_link event needs link properties")
+            topology.add_link(self.origin, self.destination, self.properties,
+                              bidirectional=self.bidirectional)
+        elif self.action is EventAction.LEAVE_LINK:
+            topology.remove_link(self.origin, self.destination,
+                                 bidirectional=self.bidirectional)
+        elif self.action is EventAction.JOIN_NODE:
+            self._apply_join_node(topology, registry or {})
+        elif self.action is EventAction.LEAVE_NODE:
+            self._apply_leave_node(topology)
+        else:  # pragma: no cover - enum is exhaustive
+            raise TopologyError(f"unhandled action {self.action}")
+
+    def _apply_set_link(self, topology: Topology) -> None:
+        if self.properties is not None:
+            topology.set_link_properties(self.origin, self.destination,
+                                         self.properties,
+                                         bidirectional=self.bidirectional)
+            return
+        if not self.changes:
+            raise TopologyError("set_link event with neither properties nor changes")
+        topology.update_link(self.origin, self.destination, **self.changes)
+        if self.bidirectional:
+            topology.update_link(self.destination, self.origin, **self.changes)
+
+    def _apply_join_node(self, topology: Topology,
+                         registry: Dict[str, object]) -> None:
+        if self.name is None:
+            raise TopologyError("join event needs a node name")
+        if topology.has_node(self.name):
+            raise TopologyError(f"join of already-present node {self.name!r}")
+        original = registry.get(self.name)
+        if isinstance(original, Bridge):
+            topology.add_bridge(Bridge(original.name))
+        elif isinstance(original, Service):
+            topology.add_service(Service(original.name, original.image,
+                                         original.replicas, original.command,
+                                         dict(original.tags)))
+        else:
+            # Node never seen before: joins as a fresh single-replica service.
+            topology.add_service(Service(self.name))
+
+    def _apply_leave_node(self, topology: Topology) -> None:
+        if self.name is None:
+            raise TopologyError("leave event needs a node name")
+        if self.name in topology.services:
+            topology.remove_service(self.name)
+        elif self.name in topology.bridges:
+            topology.remove_bridge(self.name)
+        else:
+            raise TopologyError(f"leave of unknown node {self.name!r}")
+
+
+class EventSchedule:
+    """An ordered, validated collection of dynamic events."""
+
+    def __init__(self, events: Optional[List[DynamicEvent]] = None) -> None:
+        self.events: List[DynamicEvent] = sorted(
+            events or [], key=lambda event: event.time)
+
+    def add(self, event: DynamicEvent) -> None:
+        self.events.append(event)
+        self.events.sort(key=lambda item: item.time)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def horizon(self) -> float:
+        """Time of the last event (0.0 when empty)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def snapshots(self, base: Topology) -> List[Tuple[float, Topology]]:
+        """Pre-compute the ordered sequence of topology states.
+
+        Returns ``[(0.0, base), (t1, g1), (t2, g2), ...]`` where each ``gi``
+        is an independent topology copy with all events up to and including
+        ``ti`` applied.  Events sharing a timestamp coalesce into one
+        snapshot.  This is the offline computation of §3 that makes
+        sub-second dynamics affordable at runtime.
+        """
+        registry: Dict[str, object] = {}
+        registry.update(base.services)
+        registry.update(base.bridges)
+        states: List[Tuple[float, Topology]] = [(0.0, base.copy())]
+        current = base.copy()
+        index = 0
+        while index < len(self.events):
+            time = self.events[index].time
+            while index < len(self.events) and self.events[index].time == time:
+                self.events[index].apply(current, registry)
+                index += 1
+            states.append((time, current.copy()))
+        return states

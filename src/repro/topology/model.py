@@ -1,0 +1,294 @@
+"""The topology object model: services, bridges, links and the graph.
+
+Terminology follows §3 of the paper:
+
+* **service** — a named set of containers sharing the same image; a service
+  with ``replicas = n`` expands into containers ``name.0 … name.(n-1)``.
+* **bridge** — a network element (switch or router).  Bridges are never
+  emulated directly; they exist only so paths can be computed and then
+  collapsed away.
+* **link** — a *unidirectional* edge with latency, bandwidth, jitter and
+  packet-loss properties.  Declaring a bidirectional link creates two
+  mirrored unidirectional links (upload/download bandwidths may differ).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.units import format_rate, format_time
+
+__all__ = [
+    "TopologyError",
+    "LinkProperties",
+    "Service",
+    "Bridge",
+    "Link",
+    "Topology",
+]
+
+
+class TopologyError(ValueError):
+    """Raised for malformed or inconsistent topology descriptions."""
+
+
+@dataclass(frozen=True)
+class LinkProperties:
+    """Immutable per-link network properties, in SI base units.
+
+    ``latency`` seconds, ``bandwidth`` bits/s, ``jitter`` seconds (standard
+    deviation of the latency distribution), ``loss`` a probability in
+    [0, 1].  ``jitter_distribution`` names how netem samples per-packet
+    delay: ``normal`` (the paper's default) or ``uniform``.
+    """
+
+    latency: float = 0.0
+    bandwidth: float = float("inf")
+    jitter: float = 0.0
+    loss: float = 0.0
+    jitter_distribution: str = "normal"
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise TopologyError(f"negative latency: {self.latency}")
+        if self.bandwidth <= 0:
+            raise TopologyError(f"non-positive bandwidth: {self.bandwidth}")
+        if self.jitter < 0:
+            raise TopologyError(f"negative jitter: {self.jitter}")
+        if not 0.0 <= self.loss <= 1.0:
+            raise TopologyError(f"loss outside [0,1]: {self.loss}")
+        if self.jitter_distribution not in ("normal", "uniform"):
+            raise TopologyError(
+                f"unknown jitter distribution: {self.jitter_distribution!r}")
+
+    def describe(self) -> str:
+        parts = [format_rate(self.bandwidth), format_time(self.latency)]
+        if self.jitter:
+            parts.append(f"±{format_time(self.jitter)}")
+        if self.loss:
+            parts.append(f"loss={self.loss:.2%}")
+        return " ".join(parts)
+
+
+@dataclass
+class Service:
+    """A named set of containers sharing a Docker image."""
+
+    name: str
+    image: str = "scratch"
+    replicas: int = 1
+    command: Optional[str] = None
+    tags: Dict[str, str] = field(default_factory=dict)
+    # Set by the emulation engine: whether Kollaps manages this service's
+    # network (the paper's injected tag distinguishing emulated containers).
+    supervised: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise TopologyError(
+                f"service {self.name!r} needs >=1 replicas, got {self.replicas}")
+
+    def container_names(self) -> List[str]:
+        """Expand to concrete container names (``svc.0``, ``svc.1``, ...)."""
+        if self.replicas == 1:
+            return [self.name]
+        return [f"{self.name}.{index}" for index in range(self.replicas)]
+
+
+@dataclass
+class Bridge:
+    """A switch/router.  Only identity matters — state is never emulated."""
+
+    name: str
+
+
+@dataclass
+class Link:
+    """A unidirectional link ``source -> destination``."""
+
+    source: str
+    destination: str
+    properties: LinkProperties
+    network: str = "default"
+    link_id: int = -1
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.source, self.destination)
+
+    def describe(self) -> str:
+        return f"{self.source}->{self.destination} [{self.properties.describe()}]"
+
+
+class Topology:
+    """A mutable directed multigraph of services, bridges and links.
+
+    The emulation engine snapshots topologies (:meth:`copy`) when
+    pre-computing the dynamic graph sequence, so mutation here never races
+    with a running experiment.
+    """
+
+    def __init__(self, name: str = "experiment") -> None:
+        self.name = name
+        self.services: Dict[str, Service] = {}
+        self.bridges: Dict[str, Bridge] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._link_ids = itertools.count()
+
+    # ------------------------------------------------------------------ nodes
+    def add_service(self, service: Service) -> Service:
+        self._check_fresh_name(service.name)
+        self.services[service.name] = service
+        return service
+
+    def add_bridge(self, bridge: Bridge) -> Bridge:
+        self._check_fresh_name(bridge.name)
+        self.bridges[bridge.name] = bridge
+        return bridge
+
+    def remove_service(self, name: str) -> None:
+        if name not in self.services:
+            raise TopologyError(f"unknown service: {name!r}")
+        service = self.services.pop(name)
+        self._drop_links_touching(set(service.container_names()) | {name})
+
+    def remove_bridge(self, name: str) -> None:
+        if name not in self.bridges:
+            raise TopologyError(f"unknown bridge: {name!r}")
+        del self.bridges[name]
+        self._drop_links_touching({name})
+
+    def _drop_links_touching(self, names: set) -> None:
+        doomed = [key for key in self._links
+                  if key[0] in names or key[1] in names]
+        for key in doomed:
+            del self._links[key]
+
+    def _check_fresh_name(self, name: str) -> None:
+        if name in self.services or name in self.bridges:
+            raise TopologyError(f"duplicate node name: {name!r}")
+
+    def has_node(self, name: str) -> bool:
+        return name in self.services or name in self.bridges
+
+    def node_names(self) -> List[str]:
+        return list(self.services) + list(self.bridges)
+
+    # ------------------------------------------------------------------ links
+    def add_link(self, source: str, destination: str,
+                 properties: LinkProperties, *, bidirectional: bool = True,
+                 down_properties: Optional[LinkProperties] = None,
+                 network: str = "default") -> List[Link]:
+        """Add a link; bidirectional declarations create two mirror links.
+
+        ``down_properties`` overrides the reverse direction (the language's
+        distinct ``up``/``down`` bandwidth attributes).
+        """
+        for endpoint in (source, destination):
+            if not self.has_node(endpoint):
+                raise TopologyError(f"link endpoint {endpoint!r} is not declared")
+        if source == destination:
+            raise TopologyError(f"self-loop on {source!r}")
+        created = [self._install(Link(source, destination, properties,
+                                      network=network))]
+        if bidirectional:
+            reverse = down_properties or properties
+            created.append(self._install(Link(destination, source, reverse,
+                                              network=network)))
+        return created
+
+    def _install(self, link: Link) -> Link:
+        if link.key in self._links:
+            raise TopologyError(f"duplicate link {link.key}")
+        link.link_id = next(self._link_ids)
+        self._links[link.key] = link
+        return link
+
+    def remove_link(self, source: str, destination: str, *,
+                    bidirectional: bool = True) -> None:
+        keys = [(source, destination)]
+        if bidirectional:
+            keys.append((destination, source))
+        for key in keys:
+            if key not in self._links:
+                raise TopologyError(f"no such link: {key}")
+            del self._links[key]
+
+    def get_link(self, source: str, destination: str) -> Link:
+        try:
+            return self._links[(source, destination)]
+        except KeyError:
+            raise TopologyError(f"no such link: {(source, destination)}") from None
+
+    def set_link_properties(self, source: str, destination: str,
+                            properties: LinkProperties, *,
+                            bidirectional: bool = False) -> None:
+        self.get_link(source, destination).properties = properties
+        if bidirectional:
+            self.get_link(destination, source).properties = properties
+
+    def update_link(self, source: str, destination: str, **changes) -> Link:
+        """Replace selected properties of an existing link (e.g. jitter only)."""
+        link = self.get_link(source, destination)
+        link.properties = replace(link.properties, **changes)
+        return link
+
+    def links(self) -> Iterator[Link]:
+        return iter(self._links.values())
+
+    def link_count(self) -> int:
+        return len(self._links)
+
+    # ----------------------------------------------------------- containers
+    def container_names(self) -> List[str]:
+        """All concrete container names across all services."""
+        names: List[str] = []
+        for service in self.services.values():
+            names.extend(service.container_names())
+        return names
+
+    def service_of_container(self, container: str) -> Service:
+        base = container.split(".")[0]
+        try:
+            return self.services[base]
+        except KeyError:
+            raise TopologyError(f"no service for container {container!r}") from None
+
+    # ------------------------------------------------------------- utilities
+    def neighbours(self, node: str) -> List[Tuple[str, Link]]:
+        return [(link.destination, link)
+                for link in self._links.values() if link.source == node]
+
+    def copy(self) -> "Topology":
+        """Deep-enough copy: nodes are shared metadata, links are re-created."""
+        clone = Topology(self.name)
+        clone.services = dict(self.services)
+        clone.bridges = dict(self.bridges)
+        for link in self._links.values():
+            copied = Link(link.source, link.destination, link.properties,
+                          network=link.network)
+            copied.link_id = link.link_id
+            clone._links[copied.key] = copied
+        clone._link_ids = itertools.count(
+            max((l.link_id for l in self._links.values()), default=-1) + 1)
+        return clone
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TopologyError`."""
+        if not self.services:
+            raise TopologyError("topology has no services")
+        for link in self._links.values():
+            for endpoint in (link.source, link.destination):
+                if not self.has_node(endpoint):
+                    raise TopologyError(
+                        f"link {link.key} references unknown node {endpoint!r}")
+
+    def describe(self) -> str:
+        lines = [f"topology {self.name!r}: "
+                 f"{len(self.services)} services, {len(self.bridges)} bridges, "
+                 f"{len(self._links)} links"]
+        for link in self._links.values():
+            lines.append("  " + link.describe())
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Unit parsing and formatting for rates, durations and sizes.
+
+The topology description language (Listing 1 in the paper) expresses link
+properties as human-readable strings such as ``"10Mbps"``, ``"50ms"`` or
+``"64KB"``.  Internally the whole code base works in SI base units:
+
+* bandwidth — bits per second (``float``)
+* time — seconds (``float``)
+* data — bits (``float``), with byte helpers where natural
+
+These helpers are deliberately strict: a malformed unit string raises
+:class:`UnitError` instead of silently defaulting, because a typo in an
+experiment description would otherwise corrupt a whole evaluation run.
+"""
+
+from repro.units.rates import (
+    UnitError,
+    format_rate,
+    format_size,
+    format_time,
+    parse_rate,
+    parse_size,
+    parse_time,
+)
+
+__all__ = [
+    "UnitError",
+    "parse_rate",
+    "parse_time",
+    "parse_size",
+    "format_rate",
+    "format_time",
+    "format_size",
+]

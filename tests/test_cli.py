@@ -1,0 +1,132 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+DESCRIPTION = """\
+experiment:
+  services:
+    name: c1
+    image: "iperf"
+    name: sv
+    image: "nginx"
+  bridges:
+    name: s1
+    name: s2
+  links:
+    orig: c1
+    dest: s1
+    latency: 10
+    up: 10Mbps
+    down: 10Mbps
+    orig: s1
+    dest: s2
+    latency: 20
+    up: 100Mbps
+    down: 100Mbps
+    orig: s2
+    dest: sv
+    latency: 5
+    up: 50Mbps
+    down: 50Mbps
+"""
+
+SCENARIO = """\
+# slow the backbone mid-run, then restore it
+at 2 set link s1--s2 latency=80ms
+at 4 set link s1--s2 latency=20ms
+"""
+
+
+@pytest.fixture
+def description_file(tmp_path):
+    path = tmp_path / "experiment.txt"
+    path.write_text(DESCRIPTION)
+    return str(path)
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    path = tmp_path / "scenario.storm"
+    path.write_text(SCENARIO)
+    return str(path)
+
+
+class TestValidate:
+    def test_prints_collapsed_paths(self, description_file, capsys):
+        assert main(["validate", description_file]) == 0
+        out = capsys.readouterr().out
+        assert "c1 -> sv" in out
+        assert "10Mbps" in out      # min bandwidth on the path
+        assert "35ms" in out        # 10+20+5 ms end-to-end
+
+    def test_with_scenario(self, description_file, scenario_file, capsys):
+        assert main(["validate", description_file,
+                     "--scenario", scenario_file]) == 0
+        assert "dynamic events: 2" in capsys.readouterr().out
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["validate", str(tmp_path / "nope.txt")])
+
+
+class TestRun:
+    def test_run_with_flow(self, description_file, capsys):
+        assert main(["run", description_file, "--duration", "5",
+                     "--machines", "2", "--flow", "c1:sv"]) == 0
+        out = capsys.readouterr().out
+        assert "flow c1->sv:" in out
+
+    def test_run_with_scenario(self, description_file, scenario_file,
+                               capsys):
+        assert main(["run", description_file, "--duration", "5",
+                     "--scenario", scenario_file]) == 0
+        capsys.readouterr()
+
+
+class TestPlan:
+    def test_swarm_plan(self, description_file, capsys):
+        assert main(["plan", description_file, "--machines", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "services:" in out
+        assert "kollaps-bootstrapper:" in out
+        assert "c1 -> host-0" in out
+
+    def test_kubernetes_plan(self, description_file, capsys):
+        assert main(["plan", description_file,
+                     "--orchestrator", "kubernetes"]) == 0
+        out = capsys.readouterr().out
+        assert "kind: DaemonSet" in out
+        assert "bootstrapper=no" in out
+
+
+class TestScenario:
+    def test_compiles_and_lists_events(self, description_file,
+                                       scenario_file, capsys):
+        assert main(["scenario", description_file, scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "set_link" in out
+        assert "s1->s2" in out
+        assert out.count("t=") == 2
+
+    def test_bad_scenario_fails(self, description_file, tmp_path):
+        bad = tmp_path / "bad.storm"
+        bad.write_text("at 1 leave link s1--missing\n")
+        from repro.topology import ThunderstormError
+        with pytest.raises(ThunderstormError):
+            main(["scenario", description_file, str(bad)])
+
+
+class TestParserShape:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_bad_flow_spec(self, description_file):
+        with pytest.raises(SystemExit):
+            main(["run", description_file, "--flow", "justonename"])

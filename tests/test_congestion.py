@@ -1,0 +1,75 @@
+"""Congestion-loss model unit tests and properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import combine_loss, congestion_loss
+
+
+class TestCongestionLoss:
+    def test_within_share_no_loss(self):
+        assert congestion_loss(demand=5e6, share=10e6) == 0.0
+
+    def test_exactly_at_share_no_loss(self):
+        assert congestion_loss(demand=10e6, share=10e6) == 0.0
+
+    def test_double_demand_half_lost(self):
+        assert congestion_loss(demand=20e6, share=10e6) == pytest.approx(0.5)
+
+    def test_oversubscription_fraction(self):
+        # Requesting 125 % of the share drops the excess 20 % of packets.
+        assert congestion_loss(demand=12.5e6, share=10e6) == \
+            pytest.approx(0.2)
+
+    def test_zero_share_drops_everything(self):
+        assert congestion_loss(demand=1e6, share=0.0) == 1.0
+
+    def test_zero_demand_no_loss(self):
+        assert congestion_loss(demand=0.0, share=1e6) == 0.0
+
+    def test_sensitivity_scales(self):
+        full = congestion_loss(20e6, 10e6, sensitivity=1.0)
+        half = congestion_loss(20e6, 10e6, sensitivity=0.5)
+        off = congestion_loss(20e6, 10e6, sensitivity=0.0)
+        assert half == pytest.approx(full / 2)
+        assert off == 0.0
+
+
+class TestCombineLoss:
+    def test_empty_is_zero(self):
+        assert combine_loss() == 0.0
+
+    def test_single(self):
+        assert combine_loss(0.25) == pytest.approx(0.25)
+
+    def test_independent_composition(self):
+        assert combine_loss(0.1, 0.2) == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_certain_loss_dominates(self):
+        assert combine_loss(0.1, 1.0, 0.2) == 1.0
+
+    def test_out_of_range_inputs_clamped(self):
+        assert combine_loss(-0.5) == 0.0
+        assert combine_loss(1.5) == 1.0
+
+
+@given(st.floats(min_value=0, max_value=1e12),
+       st.floats(min_value=0, max_value=1e12))
+def test_loss_always_a_probability(demand, share):
+    assert 0.0 <= congestion_loss(demand, share) <= 1.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1), max_size=6))
+def test_combined_loss_at_least_max_component(components):
+    combined = combine_loss(*components)
+    assert 0.0 <= combined <= 1.0
+    if components:
+        assert combined >= max(components) - 1e-12
+
+
+@given(st.floats(min_value=1e3, max_value=1e12),
+       st.floats(min_value=1e3, max_value=1e12))
+def test_loss_monotone_in_demand(share, demand):
+    smaller = congestion_loss(demand, share)
+    larger = congestion_loss(demand * 2, share)
+    assert larger >= smaller - 1e-12

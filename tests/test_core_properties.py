@@ -1,0 +1,124 @@
+"""End-to-end property composition (§3 formulas) with property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import compose_path
+from repro.core.properties import PathProperties
+from repro.topology import LinkProperties
+
+
+def link(latency=0.0, bandwidth=1e9, jitter=0.0, loss=0.0):
+    return LinkProperties(latency=latency, bandwidth=bandwidth,
+                          jitter=jitter, loss=loss)
+
+
+class TestComposePath:
+    def test_empty_path_is_identity(self):
+        properties = compose_path([])
+        assert properties.latency == 0.0
+        assert properties.loss == 0.0
+        assert properties.bandwidth == float("inf")
+        assert properties.hops == 0
+
+    def test_latencies_sum(self):
+        properties = compose_path([link(latency=0.010), link(latency=0.020),
+                                   link(latency=0.005)])
+        assert properties.latency == pytest.approx(0.035)
+
+    def test_bandwidth_is_minimum(self):
+        properties = compose_path([link(bandwidth=100e6), link(bandwidth=10e6),
+                                   link(bandwidth=50e6)])
+        assert properties.bandwidth == 10e6
+
+    def test_jitter_root_sum_of_squares(self):
+        properties = compose_path([link(jitter=0.003), link(jitter=0.004)])
+        assert properties.jitter == pytest.approx(0.005)
+
+    def test_loss_complement_product(self):
+        properties = compose_path([link(loss=0.1), link(loss=0.2)])
+        assert properties.loss == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_figure1_collapse_values(self):
+        """Figure 1: c1->sv collapses to 10 Mb/s, 35 ms."""
+        c1_s1 = link(latency=0.010, bandwidth=10e6)
+        s1_s2 = link(latency=0.020, bandwidth=100e6)
+        s2_sv = link(latency=0.005, bandwidth=50e6)
+        properties = compose_path([c1_s1, s1_s2, s2_sv])
+        assert properties.bandwidth == 10e6
+        assert properties.latency == pytest.approx(0.035)
+
+    def test_hops_counted(self):
+        assert compose_path([link(), link(), link()]).hops == 3
+
+
+class TestMergeSerial:
+    def test_merge_matches_full_composition(self):
+        links = [link(latency=0.01, bandwidth=5e6, jitter=0.001, loss=0.01),
+                 link(latency=0.02, bandwidth=8e6, jitter=0.002, loss=0.02)]
+        merged = compose_path(links[:1]).merge_serial(compose_path(links[1:]))
+        full = compose_path(links)
+        assert merged.latency == pytest.approx(full.latency)
+        assert merged.jitter == pytest.approx(full.jitter)
+        assert merged.loss == pytest.approx(full.loss)
+        assert merged.bandwidth == full.bandwidth
+        assert merged.hops == full.hops
+
+
+# --------------------------------------------------------------------------
+# Property-based invariants
+# --------------------------------------------------------------------------
+
+link_strategy = st.builds(
+    link,
+    latency=st.floats(min_value=0.0, max_value=1.0),
+    bandwidth=st.floats(min_value=1e3, max_value=1e12),
+    jitter=st.floats(min_value=0.0, max_value=0.1),
+    loss=st.floats(min_value=0.0, max_value=0.99),
+)
+
+
+@given(st.lists(link_strategy, min_size=1, max_size=8))
+def test_loss_stays_in_unit_interval(links):
+    assert 0.0 <= compose_path(links).loss <= 1.0
+
+
+@given(st.lists(link_strategy, min_size=1, max_size=8))
+def test_bandwidth_never_exceeds_any_link(links):
+    properties = compose_path(links)
+    assert all(properties.bandwidth <= l.bandwidth for l in links)
+
+
+@given(st.lists(link_strategy, min_size=1, max_size=8))
+def test_latency_at_least_max_single_link(links):
+    properties = compose_path(links)
+    assert properties.latency >= max(l.latency for l in links) - 1e-12
+
+
+@given(st.lists(link_strategy, min_size=2, max_size=8))
+def test_adding_a_hop_never_reduces_loss(links):
+    shorter = compose_path(links[:-1])
+    longer = compose_path(links)
+    assert longer.loss >= shorter.loss - 1e-12
+
+
+@given(st.lists(link_strategy, min_size=1, max_size=6),
+       st.lists(link_strategy, min_size=1, max_size=6))
+def test_composition_is_associative(first, second):
+    merged = compose_path(first).merge_serial(compose_path(second))
+    full = compose_path(first + second)
+    assert merged.latency == pytest.approx(full.latency)
+    assert merged.jitter == pytest.approx(full.jitter, abs=1e-9)
+    assert merged.loss == pytest.approx(full.loss, abs=1e-9)
+    assert merged.bandwidth == full.bandwidth
+
+
+@given(st.lists(link_strategy, min_size=1, max_size=8))
+def test_jitter_bounded_by_sum_and_max(links):
+    """RSS composition lies between the max and the plain sum of jitters."""
+    properties = compose_path(links)
+    jitters = [l.jitter for l in links]
+    assert properties.jitter <= sum(jitters) + 1e-12
+    assert properties.jitter >= max(jitters) - 1e-12

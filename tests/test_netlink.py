@@ -1,0 +1,179 @@
+"""Tests for the rtnetlink wire format and the kernel dispatcher."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tc.ip import IpAllocator
+from repro.tc.netlink import (
+    Attribute,
+    KernelTcDispatcher,
+    NLMSG_DONE,
+    NLMSG_ERROR,
+    NetlinkError,
+    NetlinkMessage,
+    RTM_GETTCLASS,
+    RTM_NEWQDISC,
+    RTM_NEWTCLASS,
+    decode_message,
+    decode_stats_reply,
+    encode_message,
+    get_stats_request,
+    new_netem_request,
+    new_tclass_request,
+)
+from repro.tc.tcal import Tcal
+
+
+def make_tcal() -> Tcal:
+    allocator = IpAllocator()
+    for name in ("a", "b", "c"):
+        allocator.assign(name)
+    tcal = Tcal("a", allocator)
+    tcal.install_destination("b", latency=0.010, jitter=0.0, loss=0.0,
+                             bandwidth=10e6)
+    tcal.install_destination("c", latency=0.020, jitter=0.001, loss=0.01,
+                             bandwidth=50e6)
+    return tcal
+
+
+class TestWireFormat:
+    def test_roundtrip_simple(self):
+        message = NetlinkMessage(kind=RTM_NEWTCLASS, sequence=7,
+                                 handle=0x10001, parent=0xFFFF,
+                                 attributes=[Attribute.u64(2, 123456789),
+                                             Attribute.string(7, "server")])
+        decoded = decode_message(encode_message(message))
+        assert decoded.kind == RTM_NEWTCLASS
+        assert decoded.sequence == 7
+        assert decoded.handle == 0x10001
+        assert decoded.parent == 0xFFFF
+        assert decoded.attribute(2).as_u64() == 123456789
+        assert decoded.attribute(7).as_string() == "server"
+
+    def test_attributes_are_4_byte_aligned(self):
+        # A 1-byte value forces 3 bytes of padding before the next TLV.
+        frame = encode_message(NetlinkMessage(
+            kind=NLMSG_DONE, sequence=0,
+            attributes=[Attribute(1, b"x"), Attribute(2, b"yyyy")]))
+        decoded = decode_message(frame)
+        assert decoded.attribute(1).value == b"x"
+        assert decoded.attribute(2).value == b"yyyy"
+        assert len(frame) % 4 == 0
+
+    def test_nested_attributes(self):
+        nested = Attribute.nested(8, [Attribute.u32(1, 5),
+                                      Attribute.string(2, "inner")])
+        decoded = decode_message(encode_message(NetlinkMessage(
+            kind=NLMSG_DONE, sequence=0, attributes=[nested])))
+        inner = decoded.attribute(8).as_nested()
+        assert inner[0].as_u32() == 5
+        assert inner[1].as_string() == "inner"
+
+    def test_length_field_must_match(self):
+        frame = encode_message(NetlinkMessage(kind=NLMSG_DONE, sequence=0))
+        with pytest.raises(NetlinkError, match="length"):
+            decode_message(frame + b"\x00")
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(NetlinkError):
+            decode_message(b"\x01\x02")
+
+    def test_bad_attribute_length_rejected(self):
+        message = NetlinkMessage(kind=NLMSG_DONE, sequence=0)
+        frame = bytearray(encode_message(message))
+        # Append a corrupt attribute claiming 60000 bytes.
+        frame[:4] = struct.pack("<I", len(frame) + 4)
+        frame += struct.pack("<HH", 60000, 1)
+        with pytest.raises(NetlinkError, match="length"):
+            decode_message(bytes(frame))
+
+    def test_wrong_scalar_width_rejected(self):
+        attribute = Attribute(1, b"\x01\x02")
+        with pytest.raises(NetlinkError):
+            attribute.as_u32()
+        with pytest.raises(NetlinkError):
+            attribute.as_u64()
+
+    @given(st.lists(st.tuples(st.integers(1, 100),
+                              st.binary(max_size=40)), max_size=8),
+           st.integers(0, 2 ** 31 - 1))
+    def test_roundtrip_property(self, raw_attributes, sequence):
+        attributes = [Attribute(kind, value)
+                      for kind, value in raw_attributes]
+        message = NetlinkMessage(kind=NLMSG_DONE, sequence=sequence,
+                                 attributes=attributes)
+        decoded = decode_message(encode_message(message))
+        assert decoded.sequence == sequence
+        assert [(a.kind, a.value) for a in decoded.attributes] == \
+            [(a.kind, a.value) for a in attributes]
+
+
+class TestDispatcher:
+    def test_set_rate(self):
+        tcal = make_tcal()
+        dispatcher = KernelTcDispatcher(tcal)
+        reply = dispatcher.handle(new_tclass_request(1, "b", 25e6))
+        assert decode_message(reply).kind == NLMSG_DONE
+        assert tcal.shaping_for("b").htb.rate == 25e6
+
+    def test_set_netem(self):
+        tcal = make_tcal()
+        dispatcher = KernelTcDispatcher(tcal)
+        reply = dispatcher.handle(new_netem_request(
+            2, "c", latency=0.050, jitter=0.002, loss=0.05))
+        assert decode_message(reply).kind == NLMSG_DONE
+        netem = tcal.shaping_for("c").netem
+        assert netem.latency == pytest.approx(0.050)
+        assert netem.jitter == pytest.approx(0.002)
+        assert netem.loss == pytest.approx(0.05, abs=1e-6)
+
+    def test_partial_netem_update(self):
+        tcal = make_tcal()
+        dispatcher = KernelTcDispatcher(tcal)
+        dispatcher.handle(new_netem_request(3, "c", loss=0.2))
+        netem = tcal.shaping_for("c").netem
+        assert netem.loss == pytest.approx(0.2, abs=1e-6)
+        assert netem.latency == pytest.approx(0.020)  # untouched
+
+    def test_stats_roundtrip(self):
+        tcal = make_tcal()
+        dispatcher = KernelTcDispatcher(tcal)
+        tcal.shaping_for("b").record(8_000)
+        tcal.shaping_for("c").record(16_000)
+        usage = decode_stats_reply(dispatcher.handle(get_stats_request(4)))
+        assert usage["b"] == pytest.approx(8_000)
+        assert usage["c"] == pytest.approx(16_000)
+        # The poll reset the counters.
+        usage = decode_stats_reply(dispatcher.handle(get_stats_request(5)))
+        assert usage["b"] == 0.0
+
+    def test_unknown_destination_returns_error(self):
+        dispatcher = KernelTcDispatcher(make_tcal())
+        reply = decode_message(
+            dispatcher.handle(new_tclass_request(6, "ghost", 1e6)))
+        assert reply.kind == NLMSG_ERROR
+        assert reply.sequence == 6
+
+    def test_garbage_frame_returns_error(self):
+        dispatcher = KernelTcDispatcher(make_tcal())
+        reply = decode_message(dispatcher.handle(b"garbage"))
+        assert reply.kind == NLMSG_ERROR
+
+    def test_unsupported_type_returns_error(self):
+        dispatcher = KernelTcDispatcher(make_tcal())
+        frame = encode_message(NetlinkMessage(kind=99, sequence=9))
+        reply = decode_message(dispatcher.handle(frame))
+        assert reply.kind == NLMSG_ERROR
+
+    def test_loss_out_of_range_rejected_at_build_time(self):
+        with pytest.raises(NetlinkError):
+            new_netem_request(1, "b", loss=1.5)
+
+    def test_request_counter(self):
+        dispatcher = KernelTcDispatcher(make_tcal())
+        dispatcher.handle(get_stats_request(1))
+        dispatcher.handle(new_tclass_request(2, "b", 1e6))
+        dispatcher.handle(b"junk")  # errors do not count as served
+        assert dispatcher.requests_served == 2

@@ -1,0 +1,244 @@
+"""Traffic-control substrate: htb, netem, u32 and the TCAL facade."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.tc import IpAllocator, Ipv4Address, NetemQdisc, Tcal, U32Filter
+from repro.tc.htb import BackPressure, HtbClass
+
+
+class TestIpv4:
+    def test_parse_and_str_round_trip(self):
+        address = Ipv4Address.parse("10.1.3.7")
+        assert str(address) == "10.1.3.7"
+        assert address.octets == (10, 1, 3, 7)
+
+    def test_third_and_fourth_octets(self):
+        address = Ipv4Address.parse("10.1.200.45")
+        assert address.third_octet == 200
+        assert address.fourth_octet == 45
+
+    def test_octet_out_of_range(self):
+        with pytest.raises(ValueError):
+            Ipv4Address.from_octets(10, 1, 300, 1)
+
+    def test_allocator_sequential_within_slash16(self):
+        allocator = IpAllocator("10.1.0.0")
+        first = allocator.assign("a")
+        second = allocator.assign("b")
+        assert str(first) == "10.1.0.1"
+        assert str(second) == "10.1.0.2"
+
+    def test_allocator_idempotent(self):
+        allocator = IpAllocator()
+        assert allocator.assign("a") == allocator.assign("a")
+        assert len(allocator) == 1
+
+    def test_reverse_lookup(self):
+        allocator = IpAllocator()
+        address = allocator.assign("svc.0")
+        assert allocator.reverse(address) == "svc.0"
+
+    def test_lookup_unassigned_raises(self):
+        with pytest.raises(KeyError):
+            IpAllocator().lookup("ghost")
+
+
+class TestU32Filter:
+    def test_classify_after_add(self):
+        filter_ = U32Filter()
+        filter_.add_match(Ipv4Address.parse("10.1.2.3"), class_id=7)
+        assert filter_.classify(Ipv4Address.parse("10.1.2.3")) == 7
+
+    def test_no_rule_returns_none(self):
+        assert U32Filter().classify(Ipv4Address.parse("10.1.2.3")) is None
+
+    def test_same_third_octet_no_collision(self):
+        """The two-level table distinguishes .x.1 from .x.2 (no collisions)."""
+        filter_ = U32Filter()
+        filter_.add_match(Ipv4Address.parse("10.1.5.1"), 1)
+        filter_.add_match(Ipv4Address.parse("10.1.5.2"), 2)
+        assert filter_.classify(Ipv4Address.parse("10.1.5.1")) == 1
+        assert filter_.classify(Ipv4Address.parse("10.1.5.2")) == 2
+
+    def test_remove_match(self):
+        filter_ = U32Filter()
+        address = Ipv4Address.parse("10.1.0.9")
+        filter_.add_match(address, 3)
+        filter_.remove_match(address)
+        assert filter_.classify(address) is None
+        with pytest.raises(KeyError):
+            filter_.remove_match(address)
+
+    def test_rule_count(self):
+        filter_ = U32Filter()
+        filter_.add_match(Ipv4Address.parse("10.1.0.1"), 1)
+        filter_.add_match(Ipv4Address.parse("10.1.0.2"), 2)
+        filter_.add_match(Ipv4Address.parse("10.1.0.1"), 9)  # replace
+        assert filter_.rules == 2
+
+
+class TestHtb:
+    def test_rate_paces_long_run_throughput(self):
+        """Sending 100 x 10 kbit packets at 1 Mb/s takes ~1 s."""
+        htb = HtbClass(rate=1e6, burst=0.0, queue_bits=1e9)
+        finish = 0.0
+        for _ in range(100):
+            finish = htb.enqueue(0.0, 10e3)
+        assert finish == pytest.approx(1.0, rel=1e-6)
+
+    def test_idle_burst_releases_immediately(self):
+        htb = HtbClass(rate=1e6)
+        first = htb.enqueue(10.0, 1500 * 8)
+        assert first == pytest.approx(10.0 + 1500 * 8 / 1e6)
+
+    def test_backpressure_not_drop_when_full(self):
+        """Paper §3: a full htb queue back-pressures instead of dropping."""
+        htb = HtbClass(rate=1e6, queue_bits=20e3)
+        htb.enqueue(0.0, 10e3)
+        htb.enqueue(0.0, 10e3)
+        with pytest.raises(BackPressure) as info:
+            htb.enqueue(0.0, 10e3)
+        assert info.value.retry_at > 0.0
+        assert htb.backpressure_events == 1
+
+    def test_backlog_drains_over_time(self):
+        htb = HtbClass(rate=1e6, queue_bits=20e3)
+        htb.enqueue(0.0, 10e3)
+        htb.enqueue(0.0, 10e3)
+        assert htb.backlog_bits(0.0) == pytest.approx(20e3)
+        assert htb.backlog_bits(0.01) == pytest.approx(10e3)
+        # After draining, the queue admits packets again.
+        htb.enqueue(0.02, 10e3)
+
+    def test_set_rate_applies_to_new_packets(self):
+        htb = HtbClass(rate=1e6, burst=0.0, queue_bits=1e9)
+        htb.enqueue(0.0, 1e6)  # occupies the wire until t=1.0
+        htb.set_rate(2e6)
+        finish = htb.enqueue(0.0, 1e6)
+        assert finish == pytest.approx(1.5)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            HtbClass(rate=1e6).set_rate(0.0)
+
+    def test_counters(self):
+        htb = HtbClass(rate=1e9)
+        htb.enqueue(0.0, 8000)
+        htb.enqueue(0.0, 8000)
+        assert htb.bits_sent == 16000
+        assert htb.packets_sent == 2
+        htb.reset_counters()
+        assert htb.bits_sent == 0
+
+
+class TestNetem:
+    def test_no_jitter_constant_delay(self):
+        netem = NetemQdisc(latency=0.010)
+        assert netem.sample_delay() == 0.010
+
+    def test_normal_jitter_statistics(self):
+        rng = random.Random(1)
+        netem = NetemQdisc(latency=0.100, jitter=0.005, rng=rng)
+        samples = [netem.sample_delay() for _ in range(4000)]
+        assert statistics.mean(samples) == pytest.approx(0.100, abs=0.001)
+        assert statistics.stdev(samples) == pytest.approx(0.005, rel=0.10)
+
+    def test_uniform_jitter_statistics(self):
+        rng = random.Random(2)
+        netem = NetemQdisc(latency=0.100, jitter=0.005, rng=rng,
+                           distribution="uniform")
+        samples = [netem.sample_delay() for _ in range(4000)]
+        assert statistics.stdev(samples) == pytest.approx(0.005, rel=0.10)
+        assert max(samples) <= 0.100 + 0.005 * (3 ** 0.5) + 1e-9
+
+    def test_delay_never_below_latency_floor(self):
+        rng = random.Random(3)
+        netem = NetemQdisc(latency=0.010, jitter=0.050, rng=rng)
+        assert min(netem.sample_delay() for _ in range(2000)) >= 0.005
+
+    def test_loss_rate(self):
+        rng = random.Random(4)
+        netem = NetemQdisc(loss=0.3, rng=rng)
+        outcomes = [netem.process() for _ in range(5000)]
+        dropped = sum(1 for outcome in outcomes if outcome is None)
+        assert dropped / 5000 == pytest.approx(0.3, abs=0.02)
+        assert netem.packets_dropped == dropped
+
+    def test_configure_partial_update(self):
+        netem = NetemQdisc(latency=0.010, jitter=0.001)
+        netem.configure(loss=0.05)
+        assert netem.latency == 0.010
+        assert netem.loss == 0.05
+
+    def test_configure_rejects_bad_loss(self):
+        with pytest.raises(ValueError):
+            NetemQdisc().configure(loss=1.5)
+
+
+class TestTcal:
+    def build(self):
+        allocator = IpAllocator()
+        allocator.assign("client")
+        allocator.assign("server")
+        tcal = Tcal("client", allocator, rng=random.Random(7))
+        tcal.install_destination("server", latency=0.010, jitter=0.0,
+                                 loss=0.0, bandwidth=1e6)
+        return tcal
+
+    def test_egress_applies_latency_and_pacing(self):
+        tcal = self.build()
+        release = tcal.egress(0.0, "server", 8000)
+        assert release == pytest.approx(0.010 + 8000 / 1e6)
+
+    def test_netem_loss_drops(self):
+        tcal = self.build()
+        tcal.set_netem("server", loss=1.0)
+        assert tcal.egress(0.0, "server", 8000) is None
+
+    def test_poll_usage_reports_and_resets(self):
+        tcal = self.build()
+        tcal.egress(0.0, "server", 8000)
+        tcal.egress(0.0, "server", 8000)
+        assert tcal.poll_usage() == {"server": 16000}
+        assert tcal.poll_usage() == {"server": 0.0}
+
+    def test_set_bandwidth_changes_pacing(self):
+        tcal = self.build()
+        tcal.set_bandwidth("server", 2e6)
+        release = tcal.egress(0.0, "server", 8000)
+        assert release == pytest.approx(0.010 + 8000 / 2e6)
+
+    def test_classify_via_u32(self):
+        tcal = self.build()
+        address = tcal.allocator.lookup("server")
+        assert tcal.classify(address) is not None
+
+    def test_install_is_idempotent_reconfigure(self):
+        tcal = self.build()
+        shaping_before = tcal.shaping_for("server")
+        tcal.install_destination("server", latency=0.020, jitter=0.0,
+                                 loss=0.0, bandwidth=5e6)
+        assert tcal.shaping_for("server") is shaping_before
+        assert shaping_before.netem.latency == 0.020
+        assert shaping_before.htb.rate == 5e6
+
+    def test_remove_destination(self):
+        tcal = self.build()
+        tcal.remove_destination("server")
+        with pytest.raises(KeyError):
+            tcal.shaping_for("server")
+
+    def test_unknown_destination_raises(self):
+        tcal = self.build()
+        with pytest.raises(KeyError):
+            tcal.egress(0.0, "ghost", 8000)
+
+    def test_netlink_call_accounting(self):
+        tcal = self.build()
+        calls_before = tcal.netlink_calls
+        tcal.set_bandwidth("server", 2e6)
+        tcal.poll_usage()
+        assert tcal.netlink_calls == calls_before + 2

@@ -1,0 +1,31 @@
+"""Smoke-check: every example's scenario stays compilable.
+
+Each ``examples/*.py`` exposes a module-level ``SCENARIO`` (a
+:class:`repro.scenario.Scenario` builder), so ``python -m repro.cli
+validate examples/foo.py`` can compile it without running the emulation.
+This test wires that check into the suite so examples cannot silently rot
+when the topology, units or scenario layers move underneath them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 8, "the example gallery shrank unexpectedly"
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.stem)
+def test_cli_validate_accepts_example(example, capsys):
+    assert main(["validate", str(example)]) == 0
+    out = capsys.readouterr().out
+    assert "topology" in out
+    assert "dynamic events:" in out

@@ -5,42 +5,39 @@ The paper's limitation: "it is impossible to emulate a link of 10 Gb/s if
 Kollaps is running on a cluster with 1 Gb/s connections"; its proposed fix
 is time dilation — run virtual time N times slower so a dilated link only
 needs 1/N of the physical capacity.  This example builds a k=4 fat-tree
-with 10 Gb/s links on a simulated cluster whose interconnect is only
-40 Gb/s shared, shows the feasibility check rejecting an undilated 100 Gb/s
-variant, then runs it dilated.  UDP background blast and a TCP bulk flow
-share a core link; the dashboard's sparkline shows the TCP flow yielding.
+with 100 Gb/s links through the Scenario API, shows the feasibility check
+rejecting the undilated deployment, then runs it dilated 4x.  A UDP
+background blast and a TCP bulk flow share a core link; the sparkline
+shows the TCP flow yielding.
 
 Run:  python examples/datacenter_dilation.py
 """
 
-from repro.core import EmulationEngine, EngineConfig
-from repro.dashboard import render_flow_history
-from repro.topogen import fat_tree_topology
+from repro.scenario import flow, udp_blast
+from repro.scenario.topologies import fat_tree
+
+SCENARIO = (fat_tree(4, bandwidth=100e9)
+            .workload(flow("h0", "h15", key="bulk"))
+            .workload(udp_blast("h1", "h15", rate=50e9, start=5.0, stop=10.0,
+                                key="blast"))
+            .deploy(machines=4, seed=11, time_dilation=4.0, duration=15.0))
 
 
 def main() -> None:
+    from repro.dashboard import render_flow_history
+
     # 1. An undilated 100 Gb/s fat-tree exceeds the 40 GbE interconnect.
     try:
-        EmulationEngine(fat_tree_topology(4, bandwidth=100e9),
-                        config=EngineConfig(machines=4))
+        fat_tree(4, bandwidth=100e9).deploy(machines=4).compile().engine()
     except ValueError as error:
         print(f"rejected as expected:\n  {error}\n")
 
     # 2. Dilated 4x, the same topology is admissible (virtual time runs
     #    four times slower than the cluster, so 100 Gb/s virtual needs
     #    only 25 Gb/s physical).
-    engine = EmulationEngine(
-        fat_tree_topology(4, bandwidth=100e9),
-        config=EngineConfig(machines=4, seed=11, time_dilation=4.0))
+    run = SCENARIO.compile().run()
+    engine = run.engine
     print("dilated 4x: 100 Gb/s fat-tree admitted on a 40 GbE cluster")
-
-    # A TCP bulk flow crosses pods; at t=5 a UDP blast floods half the
-    # destination's capacity and the TCP flow gives way.
-    engine.start_flow("bulk", "h0", "h15")
-    engine.start_flow("blast", "h1", "h15", protocol="udp", demand=50e9,
-                      start_time=5.0)
-    engine.sim.at(10.0, lambda: engine.stop_flow("blast"))
-    engine.run(until=15.0)
 
     print()
     print(render_flow_history(engine.fluid, "bulk"))

@@ -5,13 +5,15 @@ Six clients behind two bridges, six servers behind a third.  Clients start
 one stage apart (time scaled 6x versus the paper) and then leave in reverse
 order; after every arrival the decentralized Emulation Managers — with no
 coordination beyond their periodic usage broadcasts — re-converge to the
-RTT-aware min-max shares the paper derives analytically.
+RTT-aware min-max shares the paper derives analytically.  The whole
+experiment is one Scenario chain: the §5.4 topology from
+``repro.scenario.topologies`` plus six staggered flow workloads.
 
 Run:  python examples/decentralized_throttling.py
 """
 
-from repro.core import EmulationEngine, EngineConfig
-from repro.topogen import throttling_topology
+from repro.scenario import flow
+from repro.scenario.topologies import throttling
 
 STAGE = 10.0
 EXPECTED = {
@@ -23,14 +25,16 @@ EXPECTED = {
     6: (15.05, 17.55, 10.0, 21.07, 26.33, 10.0),
 }
 
+SCENARIO = (throttling()
+            .workload(*[flow(f"c{index}", f"s{index}", key=f"c{index}",
+                             start=(index - 1) * STAGE)
+                        for index in range(1, 7)])
+            .deploy(machines=4, seed=91, duration=6 * STAGE))
+
 
 def main() -> None:
-    engine = EmulationEngine(throttling_topology(),
-                             config=EngineConfig(machines=4, seed=91))
-    for index in range(1, 7):
-        engine.start_flow(f"c{index}", f"c{index}", f"s{index}",
-                          start_time=(index - 1) * STAGE)
-    engine.run(until=6 * STAGE)
+    run = SCENARIO.compile().run()
+    engine = run.engine
 
     print("stage  client  measured  model (== paper's analytic shares)")
     for stage in range(1, 7):

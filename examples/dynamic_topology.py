@@ -3,49 +3,38 @@
 
 A client streams bulk data to a server across a WAN link that degrades,
 flaps (drops out and comes back, §3's flapping-link scenario) and recovers
-— all driven by the declarative dynamic-event schedule, pre-computed
-offline exactly like the real Emulation Manager does.  The throughput
-timeline printed at the end shows the application-visible effect of every
-event, and the textual dashboard snapshots the experiment mid-flap.
+— all declared inline on the Scenario builder with ``.at()`` event hooks,
+then pre-computed offline exactly like the real Emulation Manager does.
+The throughput timeline printed at the end shows the application-visible
+effect of every event, and the textual dashboard snapshots the experiment
+mid-flap.
 
 Run:  python examples/dynamic_topology.py
 """
 
-from repro.core import EmulationEngine, EngineConfig
-from repro.dashboard import Dashboard
-from repro.topology import (
-    DynamicEvent,
-    EventAction,
-    EventSchedule,
-    LinkProperties,
-)
-from repro.topogen import point_to_point_topology
+from repro.scenario import flow, link_down, link_up, set_link
+from repro.scenario.topologies import point_to_point
+
+SCENARIO = (
+    point_to_point(50e6, latency=0.020)
+    # t=10s: background congestion halves the available bandwidth.
+    .at(10, set_link("client", "s0", bandwidth=25e6))
+    # t=20s: the link flaps — gone for 2 seconds, then restored with its
+    # original half-path properties (10 ms, 50 Mb/s).
+    .at(20, link_down("client", "s0"))
+    .at(22, link_up("client", "s0", latency="10ms", bandwidth=50e6))
+    # t=30s: latency spikes (a route change), bandwidth stays intact.
+    .at(30, set_link("client", "s0", latency="80ms"))
+    .workload(flow("client", "server", key="transfer"))
+    .deploy(machines=2, seed=7, duration=40.0))
 
 
 def main() -> None:
-    topology = point_to_point_topology(50e6, latency=0.020)
-    wan = topology.get_link("client", "s0").properties
+    from repro.dashboard import Dashboard
 
-    schedule = EventSchedule([
-        # t=10s: background congestion halves the available bandwidth.
-        DynamicEvent(time=10.0, action=EventAction.SET_LINK,
-                     origin="client", destination="s0",
-                     changes={"bandwidth": 25e6}),
-        # t=20s: the link flaps — gone for 2 seconds, then restored.
-        DynamicEvent(time=20.0, action=EventAction.LEAVE_LINK,
-                     origin="client", destination="s0"),
-        DynamicEvent(time=22.0, action=EventAction.JOIN_LINK,
-                     origin="client", destination="s0", properties=wan),
-        # t=30s: latency spikes (a route change), bandwidth recovers.
-        DynamicEvent(time=30.0, action=EventAction.SET_LINK,
-                     origin="client", destination="s0",
-                     changes={"latency": 0.080}),
-    ])
-
-    engine = EmulationEngine(topology, schedule,
-                             config=EngineConfig(machines=2, seed=7))
+    compiled = SCENARIO.compile()
+    engine = compiled.start()   # workloads installed, run still deferred
     dashboard = Dashboard(engine)
-    engine.start_flow("transfer", "client", "server")
 
     dashboard.log("experiment started")
     engine.sim.at(21.0, lambda: dashboard.log(

@@ -5,24 +5,31 @@ Benchmarks a Cassandra-like cluster (4 replicas in Frankfurt + 4 in
 Sydney, RF=2, W=QUORUM / R=ONE, 50/50 YCSB mix) under the measured
 EC2 inter-region latencies, then answers Figure 11's question — what if
 the Sydney replicas moved to Seoul, halving the inter-region latency? —
-by editing one line of the topology instead of redeploying a cluster.
+by changing one argument of the scenario builder instead of redeploying
+a cluster.
 
 Run:  python examples/geo_replication.py
 """
 
 from repro.apps import CassandraCluster, YcsbClient
-from repro.core import EmulationEngine, EngineConfig
+from repro.scenario import Scenario
+from repro.scenario.topologies import aws_mesh
 from repro.sim import RngRegistry
-from repro.topogen import aws_mesh_topology
+
+
+def build_scenario(remote_region: str, rtt_scale: float = 1.0) -> Scenario:
+    """One deployment configuration as a Scenario builder."""
+    return (aws_mesh(["frankfurt", remote_region], services_per_region=5,
+                     service_prefix="cas", rtt_scale=rtt_scale)
+            .deploy(machines=4, seed=11, enforce_bandwidth_sharing=False))
+
+
+SCENARIO = build_scenario("sydney")
 
 
 def run_deployment(remote_region: str, rtt_scale: float = 1.0):
     """Deploy, load and measure one cluster configuration."""
-    topology = aws_mesh_topology(["frankfurt", remote_region],
-                                 services_per_region=5,
-                                 service_prefix="cas", rtt_scale=rtt_scale)
-    engine = EmulationEngine(topology, config=EngineConfig(
-        machines=4, seed=11, enforce_bandwidth_sharing=False))
+    engine = build_scenario(remote_region, rtt_scale).compile().engine()
     replicas = [f"cas-{region}-{index}" for index in range(4)
                 for region in ("frankfurt", remote_region)]
     cluster = CassandraCluster(engine.sim, engine.dataplane, replicas,
@@ -62,7 +69,7 @@ def main() -> None:
     print(f"\nHalving the inter-region latency cut update latency from "
           f"{baseline['update_ms']:.0f} ms to {whatif['update_ms']:.0f} ms "
           f"and raised throughput {speedup:.2f}x — Figure 11's conclusion, "
-          f"from a one-line topology change.")
+          f"from a one-line scenario change.")
 
 
 if __name__ == "__main__":

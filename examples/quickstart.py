@@ -1,76 +1,78 @@
 #!/usr/bin/env python3
-"""Quickstart: emulate Figure 1's topology and measure what applications see.
+"""Quickstart: the unified Scenario API on Figure 1's topology.
 
-Builds the paper's running example — a client and two server replicas
-behind two switches — from the listing-style description language, starts
-the decentralized emulation over two simulated machines, and verifies the
-collapsed end-to-end properties with ping (latency) and iperf (bandwidth).
+One fluent chain declares the paper's running example — a client and two
+server replicas behind two switches — wires the workloads that probe it,
+and deploys it on two simulated machines::
+
+    from repro.scenario import Scenario, iperf, ping
+
+    run = (Scenario.build("figure1")
+           .service("c1", image="iperf")
+           .service("sv", image="nginx", replicas=2)
+           .bridges("s1", "s2")
+           .link("c1", "s1", latency="10ms", up="10Mbps")
+           .link("s1", "s2", latency="20ms", up="100Mbps")
+           .link("sv", "s2", latency="5ms", up="50Mbps")
+           .workload(ping("c1", "sv.0"), iperf("c1", "sv.0", duration=15))
+           .deploy(machines=2, seed=42)
+           .compile()
+           .run())
+
+``compile()`` validates the whole description at once (undeclared link
+endpoints, duplicate names, malformed units) and freezes it; ``run()``
+returns the collected application measurements — ping RTTs matching the
+collapsed 35 ms one-way path and iperf goodput matching the 10 Mb/s
+bottleneck.  The same compiled scenario also yields ``describe()`` (the
+paper's listing-style text form) and ``plan()`` (the §4 deployment
+document).
 
 Run:  python examples/quickstart.py
 """
 
-from repro.apps import Pinger, run_iperf_pair
-from repro.core import EmulationEngine, EngineConfig
-from repro.topology import parse_experiment_text
+from repro.scenario import Scenario, iperf, ping
 
-DESCRIPTION = """
-experiment:
-  services:
-    name: c1
-    image: "iperf"
-    name: sv
-    image: "nginx"
-    replicas: 2
-  bridges:
-    name: s1
-    name: s2
-  links:
-    orig: c1
-    dest: s1
-    latency: 10
-    up: 10Mbps
-    down: 10Mbps
-    orig: s1
-    dest: s2
-    latency: 20
-    up: 100Mbps
-    down: 100Mbps
-    orig: sv
-    dest: s2
-    latency: 5
-    up: 50Mbps
-    down: 50Mbps
-"""
+SCENARIO = (Scenario.build("figure1")
+            .service("c1", image="iperf")
+            .service("sv", image="nginx", replicas=2)
+            .bridges("s1", "s2")
+            .link("c1", "s1", latency="10ms", up="10Mbps")
+            .link("s1", "s2", latency="20ms", up="100Mbps")
+            .link("sv", "s2", latency="5ms", up="50Mbps")
+            .workload(ping("c1", "sv.0", count=100, interval=0.02))
+            .workload(iperf("c1", "sv.0", duration=15, start=5))
+            .workload(iperf("sv.0", "sv.1", duration=15, start=20))
+            .deploy(machines=2, seed=42, duration=36.0))
 
 
 def main() -> None:
-    topology, schedule = parse_experiment_text(DESCRIPTION)
-    engine = EmulationEngine(topology, schedule,
-                             config=EngineConfig(machines=2, seed=42))
+    compiled = SCENARIO.compile()
 
     print("Collapsed end-to-end paths (Figure 1, right):")
-    for path in sorted(engine.current_state.collapsed.paths(),
-                       key=lambda p: (p.source, p.destination)):
-        print(f"  {path.source:>5} -> {path.destination:<5} "
-              f"{path.bandwidth / 1e6:6.1f} Mb/s  "
-              f"{path.latency * 1e3:5.1f} ms")
+    for line in compiled.path_table().splitlines():
+        print(f"  {line}")
+
+    run = compiled.run()
 
     # Latency check: c1 -> sv.0 should round-trip in 2 x 35 ms.
-    pinger = Pinger(engine.sim, engine.dataplane, "c1", "sv.0",
-                    count=100, interval=0.02).start()
-    engine.run(until=5.0)
-    print(f"\nping c1 -> sv.0: mean RTT {pinger.stats.mean_rtt * 1e3:.2f} ms "
+    stats = run["ping:c1->sv.0"]
+    print(f"\nping c1 -> sv.0: mean RTT {stats.mean_rtt * 1e3:.2f} ms "
           f"(expected ~70 ms)")
 
     # Bandwidth check: the 10 Mb/s access link caps the path.
-    result = run_iperf_pair(engine, "c1", "sv.0", duration=15.0)
+    result = run["iperf:c1->sv.0"]
     print(f"iperf c1 -> sv.0: {result.mean_goodput / 1e6:.2f} Mb/s goodput "
           f"(path capacity 10 Mb/s)")
 
     # Server replicas talk at 50 Mb/s through their shared switch.
-    result = run_iperf_pair(engine, "sv.0", "sv.1", duration=15.0)
+    result = run["iperf:sv.0->sv.1"]
     print(f"iperf sv.0 -> sv.1: {result.mean_goodput / 1e6:.2f} Mb/s goodput "
           f"(path capacity 50 Mb/s)")
+
+    # The scenario round-trips to the paper's text description language.
+    reparsed = Scenario.from_text(compiled.describe()).compile()
+    assert reparsed.path_table() == compiled.path_table()
+    print("\ndescribe() round-trips through the text DSL: identical paths")
 
 
 if __name__ == "__main__":

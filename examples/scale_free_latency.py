@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Large scale-free topologies: collapsed RTT vs theoretical RTT (§5.5).
 
-Generates a preferential-attachment (Barabási–Albert) topology — the
+Generates a preferential-attachment (Barabási–Albert) scenario — the
 paper's stand-in for Internet-like networks — collapses it, and compares
 ping round-trip times measured through the emulation against the
 theoretical shortest-path values, exactly as Table 4 does.  Also prints
@@ -14,29 +14,31 @@ Run:  python examples/scale_free_latency.py
 import time
 
 from repro.apps import Pinger
-from repro.core import EmulationEngine, EngineConfig, collapse
+from repro.scenario.topologies import scale_free
 from repro.sim import RngRegistry
-from repro.topogen import scale_free_topology
 
 SIZE = 400
 PROBES = 12
 
+SCENARIO = scale_free(SIZE, seed=9).deploy(
+    machines=4, seed=9, enforce_bandwidth_sharing=False)
+
 
 def main() -> None:
-    topology = scale_free_topology(SIZE, seed=9)
+    compiled = SCENARIO.compile()
+    topology = compiled.topology
     services = len(topology.services)
     print(f"scale-free topology: {SIZE} elements "
           f"({services} end nodes, {len(topology.bridges)} switches)")
 
     started = time.perf_counter()
-    collapsed = collapse(topology)
+    collapsed = compiled.collapsed()
     elapsed = time.perf_counter() - started
     print(f"collapse: {len(collapsed.paths())} end-to-end paths "
           f"in {elapsed * 1e3:.0f} ms "
           "(why dynamic graphs are pre-computed offline, §3)\n")
 
-    engine = EmulationEngine(topology, config=EngineConfig(
-        machines=4, seed=9, enforce_bandwidth_sharing=False))
+    engine = compiled.engine()
     rng = RngRegistry(9).stream("probes")
     containers = topology.container_names()
     pairs = []

@@ -3,16 +3,16 @@
 
 The paper motivates dynamic topologies with exactly this case: "the rapid
 removal and insertion back into the topology of a link emulates a flapping
-link" (§3).  This example scripts a flapping backbone with the scenario
-language, runs a long-lived bulk flow across it, and shows the throughput
-collapsing to zero during each outage and recovering afterwards — plus a
-scripted partition/heal of one replica.
+link" (§3).  This example parses the listing-style description into a
+Scenario builder, attaches a THUNDERSTORM script (a flapping backbone plus
+a scripted partition/heal of one replica) with ``.script()``, and runs a
+long-lived bulk flow across it — the throughput collapses to zero during
+each outage and recovers afterwards.
 
 Run:  python examples/thunderstorm_flapping.py
 """
 
-from repro.core import EmulationEngine, EngineConfig
-from repro.topology import compile_scenario, parse_experiment_text
+from repro.scenario import Scenario, flow
 from repro.units import format_rate
 
 DESCRIPTION = """
@@ -52,23 +52,21 @@ experiment:
 
 # The backbone flaps every 20 s (down for 4 s each time); later the
 # replica is partitioned away and healed.
-SCENARIO = """
+SCRIPT = """
 from 20 to 60 every 20 flap link s1--s2 for 4
 at 70 partition replica | s2,client,server,s1
 at 80 heal
 """
 
+SCENARIO = (Scenario.from_text(DESCRIPTION)
+            .script(SCRIPT)
+            .workload(flow("client", "server", key="bulk"))
+            .deploy(machines=2, seed=7, duration=90.0))
+
 
 def main() -> None:
-    topology, schedule = parse_experiment_text(DESCRIPTION)
-    scenario = compile_scenario(SCENARIO, topology)
-    for event in scenario:
-        schedule.add(event)
-
-    engine = EmulationEngine(topology, schedule,
-                             config=EngineConfig(machines=2, seed=7))
-    engine.start_flow("bulk", "client", "server")
-    engine.run(until=90.0)
+    run = SCENARIO.compile().run()
+    engine = run.engine
 
     print("client -> server throughput, 5 s windows:")
     for start in range(0, 90, 5):

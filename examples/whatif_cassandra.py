@@ -4,7 +4,7 @@
 The paper's closing demonstration: a geo-replicated Cassandra deployment
 (4 replicas in Frankfurt + 4 in Sydney, W=QUORUM / R=ONE, 50/50 mix) is
 re-evaluated under the hypothetical "what if the remote replicas moved to
-Seoul?" — in Kollaps a one-line change to the topology description instead
+Seoul?" — in Kollaps a one-argument change to the scenario builder instead
 of a costly real redeployment.  Update latency halves with the RTT; reads,
 already local, barely move.
 
@@ -12,20 +12,26 @@ Run:  python examples/whatif_cassandra.py
 """
 
 from repro.apps import CassandraCluster, YcsbClient
-from repro.core import EmulationEngine, EngineConfig
+from repro.scenario import Scenario
+from repro.scenario.topologies import aws_mesh
 from repro.sim import RngRegistry
-from repro.topogen import aws_mesh_topology
 
 DURATION = 20.0
 
 
+def build_scenario(remote_region: str) -> Scenario:
+    return (aws_mesh(["frankfurt", remote_region], services_per_region=8,
+                     service_prefix="cas")
+            .deploy(machines=4, seed=2024, enforce_bandwidth_sharing=False,
+                    duration=DURATION))
+
+
+SCENARIO = build_scenario("sydney")
+
+
 def benchmark_deployment(remote_region: str) -> dict:
     """Deploy Frankfurt + ``remote_region`` and run the YCSB mix."""
-    topology = aws_mesh_topology(["frankfurt", remote_region],
-                                 services_per_region=8,
-                                 service_prefix="cas")
-    engine = EmulationEngine(topology, config=EngineConfig(
-        machines=4, seed=2024, enforce_bandwidth_sharing=False))
+    engine = build_scenario(remote_region).compile().engine()
     replicas = [f"cas-{region}-{index}" for index in range(4)
                 for region in ("frankfurt", remote_region)]
     cluster = CassandraCluster(engine.sim, engine.dataplane, replicas,

@@ -1,6 +1,9 @@
 """Command-line front end for the Kollaps reproduction.
 
-Subcommands mirror the real toolchain:
+Every subcommand assembles its experiment through the unified Scenario
+API (:mod:`repro.scenario`) — the single validated path from any
+description form (listing text, Modelnet XML, or an example module
+exposing ``SCENARIO``) to a runnable experiment.
 
 ``run``
     Parse an experiment description, deploy it on the simulated cluster,
@@ -10,8 +13,9 @@ Subcommands mirror the real toolchain:
             --duration 60 --flow c1:sv.0 --flow sv.0:sv.1:5Mbps
 
 ``validate``
-    Parse and validate a description (and optional scenario) without
-    running anything; prints the collapsed end-to-end paths.
+    Compile a description (and optional scenario script) without running
+    anything; prints the collapsed end-to-end paths.  Also accepts
+    ``examples/*.py`` files exposing a module-level ``SCENARIO``.
 
 ``plan``
     Emit the Docker-Compose / Kubernetes-manifest deployment document for
@@ -30,19 +34,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from repro.core import EmulationEngine, EngineConfig
-from repro.dashboard import Dashboard
-from repro.orchestration import DeploymentGenerator, render_plan
-from repro.topology import (
-    EventSchedule,
-    Topology,
-    compile_scenario,
-    parse_experiment_text,
-    parse_modelnet_xml,
-)
-from repro.units import format_rate, format_time, parse_rate
+from repro.scenario import Scenario, flow
+from repro.units import UnitError, format_rate, format_time, parse_rate
 
 __all__ = ["main", "build_parser"]
 
@@ -52,22 +47,29 @@ def _parse_flow(spec: str):
     if len(parts) == 2:
         return parts[0], parts[1], float("inf")
     if len(parts) == 3:
-        return parts[0], parts[1], parse_rate(parts[2])
+        try:
+            return parts[0], parts[1], parse_rate(parts[2])
+        except (UnitError, ValueError) as error:
+            raise argparse.ArgumentTypeError(
+                f"bad rate in flow spec {spec!r}: {error}") from None
     raise argparse.ArgumentTypeError(
         f"flow must be src:dst or src:dst:rate, got {spec!r}")
 
 
-def _load_description(path: str) -> Tuple[Topology, EventSchedule]:
-    with open(path, encoding="utf-8") as handle:
-        text = handle.read()
-    if path.endswith((".xml", ".modelnet")):
-        return parse_modelnet_xml(text)
-    return parse_experiment_text(text)
+def _load_scenario(args: argparse.Namespace) -> Scenario:
+    """The description file as a builder, with any scenario script merged."""
+    builder = Scenario.from_file(args.experiment)
+    script_path = getattr(args, "scenario", None)
+    if script_path is not None:
+        with open(script_path, encoding="utf-8") as handle:
+            builder.script(handle.read())
+    return builder
 
 
 def _add_description_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("experiment", help="topology description file "
-                        "(listing-style text, or Modelnet XML by suffix)")
+    parser.add_argument("experiment", help="scenario source: listing-style "
+                        "text, Modelnet XML (by suffix), or a .py module "
+                        "exposing SCENARIO")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,11 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="run an emulation experiment")
     _add_description_argument(run)
-    run.add_argument("--machines", type=int, default=1,
-                     help="physical machines in the simulated cluster")
-    run.add_argument("--duration", type=float, default=30.0,
-                     help="simulated seconds to run")
-    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--machines", type=int, default=None,
+                     help="physical machines in the simulated cluster "
+                          "(default: the scenario's own setting, else 1)")
+    run.add_argument("--duration", type=float, default=None,
+                     help="simulated seconds to run (default: the "
+                          "scenario's own deploy(duration=...), else 30)")
+    run.add_argument("--seed", type=int, default=None)
     run.add_argument("--flow", action="append", type=_parse_flow,
                      default=[], metavar="SRC:DST[:RATE]",
                      help="bulk flow to start (repeatable)")
@@ -92,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="render the dashboard every N simulated seconds")
 
     validate = commands.add_parser(
-        "validate", help="check a description (and scenario) parses")
+        "validate", help="check a description (and scenario) compiles")
     _add_description_argument(validate)
     validate.add_argument("--scenario", default=None)
 
@@ -101,7 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_description_argument(plan)
     plan.add_argument("--orchestrator", choices=("swarm", "kubernetes"),
                       default="swarm")
-    plan.add_argument("--machines", type=int, default=1)
+    plan.add_argument("--machines", type=int, default=None,
+                      help="hosts to place on (default: the scenario's "
+                           "own machine count)")
 
     scenario = commands.add_parser(
         "scenario", help="compile a scenario script to primitive events")
@@ -117,69 +123,57 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ------------------------------------------------------------- subcommands
-def _merge_scenario(topology: Topology, schedule: EventSchedule,
-                    scenario_path: Optional[str]) -> EventSchedule:
-    if scenario_path is None:
-        return schedule
-    with open(scenario_path, encoding="utf-8") as handle:
-        compiled = compile_scenario(handle.read(), topology)
-    merged = EventSchedule(list(schedule) + list(compiled))
-    return merged
-
-
 def _command_run(args: argparse.Namespace) -> int:
-    topology, schedule = _load_description(args.experiment)
-    schedule = _merge_scenario(topology, schedule, args.scenario)
-    engine = EmulationEngine(
-        topology, schedule,
-        config=EngineConfig(machines=args.machines, seed=args.seed))
-    dashboard = Dashboard(engine)
+    from repro.dashboard import Dashboard
 
+    builder = _load_scenario(args)
+    # Command-line knobs override the scenario's own deploy() settings
+    # only when explicitly given — a .py scenario keeps its seed/machines.
+    builder.deploy(machines=args.machines, seed=args.seed,
+                   duration=args.duration)
     for source, destination, rate in args.flow:
-        engine.start_flow(f"{source}->{destination}", source, destination,
-                          demand=rate)
+        builder.workload(flow(source, destination, rate=rate,
+                              key=f"{source}->{destination}"))
+    compiled = builder.compile()
+
+    engine = compiled.start()
+    dashboard = Dashboard(engine)
     if args.snapshot_every > 0:
         from repro.sim import Process
         Process(engine.sim, args.snapshot_every,
                 lambda: print(dashboard.render_flows(), file=sys.stderr),
                 start_after=args.snapshot_every)
 
-    engine.run(until=args.duration)
+    # --duration (if given) was folded into compiled.duration by deploy();
+    # otherwise fall back to the scenario's own setting, else the
+    # historical 30 s default.
+    duration = compiled.duration if compiled.duration is not None else 30.0
+    engine.run(until=duration)
 
     print(dashboard.render())
     for source, destination, _rate in args.flow:
         key = f"{source}->{destination}"
-        mean = engine.fluid.mean_throughput(key, args.duration * 0.3,
-                                            args.duration)
+        mean = engine.fluid.mean_throughput(key, duration * 0.3, duration)
         print(f"flow {key}: {format_rate(mean)} mean")
     return 0
 
 
 def _command_validate(args: argparse.Namespace) -> int:
-    topology, schedule = _load_description(args.experiment)
-    topology.validate()
-    schedule = _merge_scenario(topology, schedule, args.scenario)
-    from repro.core import collapse
-
-    collapsed = collapse(topology)
-    print(f"{topology.describe()}")
-    print(f"dynamic events: {len(schedule)}")
-    for path in collapsed.paths():
-        properties = path.properties
-        print(f"  {path.source} -> {path.destination}: "
-              f"{format_rate(properties.bandwidth)}, "
-              f"{format_time(properties.latency)}"
-              + (f", loss {properties.loss:.2%}" if properties.loss else ""))
+    compiled = _load_scenario(args).compile()
+    print(f"{compiled.topology.describe()}")
+    print(f"dynamic events: {len(compiled.schedule)}")
+    for line in compiled.path_table().splitlines():
+        print(f"  {line}")
     return 0
 
 
 def _command_plan(args: argparse.Namespace) -> int:
-    topology, _schedule = _load_description(args.experiment)
-    generator = DeploymentGenerator(topology)
-    machines = [f"host-{index}" for index in range(args.machines)]
-    plan = (generator.swarm_plan(machines)
-            if args.orchestrator == "swarm"
-            else generator.kubernetes_plan(machines))
+    from repro.orchestration import render_plan
+
+    compiled = Scenario.from_file(args.experiment).compile()
+    machines = None if args.machines is None else \
+        [f"host-{index}" for index in range(args.machines)]
+    plan = compiled.plan(orchestrator=args.orchestrator, machines=machines)
     print(f"# deployment plan ({plan.orchestrator}), "
           f"bootstrapper={'yes' if plan.needs_bootstrapper else 'no'}")
     for container, machine in sorted(plan.placement.items()):
@@ -189,9 +183,9 @@ def _command_plan(args: argparse.Namespace) -> int:
 
 
 def _command_scenario(args: argparse.Namespace) -> int:
-    topology, _schedule = _load_description(args.experiment)
+    compiled = Scenario.from_file(args.experiment).compile()
     with open(args.script, encoding="utf-8") as handle:
-        schedule = compile_scenario(handle.read(), topology)
+        schedule = compiled.compile_script(handle.read())
     for event in schedule:
         target = (event.name if event.name is not None
                   else f"{event.origin}->{event.destination}")

@@ -13,6 +13,12 @@ This package implements the paper's primary contribution (§3):
   :mod:`repro.core.engine` — Emulation Cores, Emulation Managers and the
   distributed emulation loop,
 * :mod:`repro.core.dynamic` — offline pre-computation of dynamic graphs.
+
+Direct :class:`EmulationEngine` construction keeps working, but new code
+should assemble experiments through the unified Scenario API
+(:mod:`repro.scenario`) and obtain engines via
+``Scenario...compile().engine()`` — the single validated choke point the
+CLI, examples and experiment runners all use.
 """
 
 from repro.core.properties import PathProperties, compose_path

@@ -13,10 +13,9 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
 from repro.metadata.encoding import FlowRecord, MetadataMessage, encoded_size
-from repro.topogen import star_topology
+from repro.scenario.topologies import star
 
 CONNECTIONS_PER_CLIENT = 10
 CLIENTS = 8
@@ -25,11 +24,9 @@ CLIENTS = 8
 def compute_results(duration: float = 5.0) -> Dict[str, float]:
     # Drive real traffic so the engine's own (per-destination) metadata
     # volume is measured, not synthesized.
-    topology = star_topology(
-        ["server"] + [f"c{i}" for i in range(CLIENTS)],
-        bandwidth=1e9, latency=0.002)
-    engine = EmulationEngine(topology,
-                             config=EngineConfig(machines=2, seed=141))
+    scenario = star(["server"] + [f"c{i}" for i in range(CLIENTS)],
+                    bandwidth=1e9, latency=0.002)
+    engine = scenario_engine(scenario, machines=2, seed=141)
     for index in range(CLIENTS):
         # Each client's many connections aggregate into ONE shaped flow.
         engine.start_flow(f"f{index}", f"c{index}", "server", demand=20e6)

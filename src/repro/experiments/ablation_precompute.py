@@ -12,9 +12,9 @@ from __future__ import annotations
 import time
 from typing import Dict
 
-from repro.core import EmulationEngine, EngineConfig, collapse
+from repro.core import collapse
 from repro.core.dynamic import DynamicTopologyPlan
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
 from repro.topogen import scale_free_topology
 from repro.topology import DynamicEvent, EventAction, EventSchedule
 
@@ -42,10 +42,8 @@ def compute_results(size: int = SIZE) -> Dict[str, float]:
     precompute_cost = time.perf_counter() - started
 
     # Per-event swap cost at runtime with the plan in hand.
-    engine = EmulationEngine(
-        topology, schedule,
-        config=EngineConfig(machines=2, seed=17,
-                            enforce_bandwidth_sharing=False))
+    engine = scenario_engine(topology, schedule, machines=2, seed=17,
+                             enforce_bandwidth_sharing=False)
     started = time.perf_counter()
     engine.run(until=schedule.horizon() + 0.1)
     runtime_cost = (time.perf_counter() - started) / len(schedule)

@@ -19,14 +19,12 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core import (
-    EmulationEngine,
-    EngineConfig,
     FlowDemand,
     paper_two_step_shares,
     rtt_aware_max_min,
 )
-from repro.experiments.base import ExperimentResult, experiment
-from repro.topogen import throttling_topology
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
+from repro.scenario.topologies import throttling
 from repro.topology import DynamicEvent, EventAction, EventSchedule
 
 MBPS = 1e6
@@ -70,10 +68,9 @@ def loss_injection_comparison(duration: float = 20.0) -> Dict[str, Dict]:
         schedule = EventSchedule([DynamicEvent(
             time=duration * 0.4, action=EventAction.SET_LINK, origin="b1",
             destination="b2", changes={"bandwidth": 10 * MBPS})])
-        engine = EmulationEngine(
-            throttling_topology(), schedule,
-            config=EngineConfig(machines=2, seed=131,
-                                congestion_sensitivity=sensitivity))
+        engine = scenario_engine(throttling(), schedule,
+                                 machines=2, seed=131,
+                                 congestion_sensitivity=sensitivity)
         flow = engine.start_flow("c1", "c1", "s1")
         engine.run(until=duration)
         return {

@@ -22,8 +22,33 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["Check", "ExperimentResult", "experiment", "registered",
-           "get_runner", "run_experiments", "format_table",
-           "render_markdown"]
+           "get_runner", "run_experiments", "scenario_engine",
+           "format_table", "render_markdown"]
+
+
+def scenario_engine(source, schedule=None, *, machines: int = 1,
+                    seed: int = 0, placement=None, **tunables):
+    """A wired :class:`~repro.core.engine.EmulationEngine` via the Scenario API.
+
+    Every experiment runner assembles its engine through this one helper,
+    so all reproduction workloads flow through the unified
+    :mod:`repro.scenario` choke point (validation included).  ``source``
+    is a :class:`~repro.scenario.Scenario` builder (preferred — compiled
+    once) or a bare :class:`~repro.topology.model.Topology` (adopted via
+    ``Scenario.from_topology``).  ``tunables`` are
+    :class:`~repro.core.engine.EngineConfig` fields
+    (``enforce_bandwidth_sharing``, ``congestion_sensitivity``, ...).
+    """
+    from repro.scenario import Scenario
+    if isinstance(source, Scenario):
+        builder = source
+        for event in (schedule or []):
+            builder.event(event)
+    else:
+        builder = Scenario.from_topology(source, schedule)
+    builder.deploy(machines=machines, seed=seed, placement=placement,
+                   **tunables)
+    return builder.compile().engine()
 
 
 @dataclass

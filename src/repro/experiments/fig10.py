@@ -14,8 +14,7 @@ from typing import Dict, Tuple
 
 from repro.apps import CassandraCluster, YcsbClient
 from repro.baselines import BareMetalTestbed
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
 from repro.sim import RngRegistry
 from repro.topogen import aws_mesh_topology
 
@@ -63,10 +62,8 @@ def compute_curve(duration: float = _DURATION
         ec2 = BareMetalTestbed(build_topology(), seed=111)
         curve[("ec2", threads)] = run_point(ec2, threads, f"e{threads}",
                                             duration)
-        kollaps = EmulationEngine(
-            build_topology(),
-            config=EngineConfig(machines=4, seed=111,
-                                enforce_bandwidth_sharing=False))
+        kollaps = scenario_engine(build_topology(), machines=4, seed=111,
+                                  enforce_bandwidth_sharing=False)
         curve[("kollaps", threads)] = run_point(kollaps, threads,
                                                 f"k{threads}", duration)
     return curve

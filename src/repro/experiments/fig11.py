@@ -12,10 +12,9 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.apps import CassandraCluster, YcsbClient
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
 from repro.sim import RngRegistry
-from repro.topogen import aws_mesh_topology
+from repro.scenario.topologies import aws_mesh
 
 THREAD_SWEEP = [4, 16, 32]
 _DURATION = 25.0
@@ -25,11 +24,10 @@ def run_curve(remote_region: str, tag: str,
               duration: float = _DURATION) -> Dict[int, Dict[str, float]]:
     results = {}
     for threads in THREAD_SWEEP:
-        topology = aws_mesh_topology(["frankfurt", remote_region],
-                                     services_per_region=8,
-                                     service_prefix="cas")
-        engine = EmulationEngine(topology, config=EngineConfig(
-            machines=4, seed=121, enforce_bandwidth_sharing=False))
+        scenario = aws_mesh(["frankfurt", remote_region],
+                            services_per_region=8, service_prefix="cas")
+        engine = scenario_engine(scenario, machines=4, seed=121,
+                                 enforce_bandwidth_sharing=False)
         replicas = [f"cas-{region}-{index}" for index in range(4)
                     for region in ("frankfurt", remote_region)]
         cluster = CassandraCluster(engine.sim, engine.dataplane, replicas,

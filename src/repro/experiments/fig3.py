@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
-from repro.topogen import dumbbell_topology
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
+from repro.scenario.topologies import dumbbell
 
 # (containers, flows) configurations of Figure 3 (scaled to half size so
 # the full sweep stays fast; the relationships are size-independent).
@@ -27,9 +26,8 @@ def run_config(containers: int, flows: int, hosts: int,
                duration: float = _DURATION) -> float:
     """Total metadata wire traffic in bytes/s for one configuration."""
     pairs = containers // 2
-    engine = EmulationEngine(
-        dumbbell_topology(pairs, shared_bandwidth=50e6),
-        config=EngineConfig(machines=hosts, seed=41))
+    engine = scenario_engine(dumbbell(pairs, shared_bandwidth=50e6),
+                             machines=hosts, seed=41)
     for index in range(flows):
         engine.start_flow(f"f{index}", f"client{index}", f"server{index}")
     engine.run(until=duration)

@@ -12,10 +12,9 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.apps import KvServer, MemtierClient
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
 from repro.sim import RngRegistry
-from repro.topogen import aws_mesh_topology
+from repro.scenario.topologies import aws_mesh
 
 REGIONS = ["virginia", "oregon", "ireland", "saopaulo"]
 HOSTS = [1, 2, 4, 8, 16]
@@ -25,10 +24,9 @@ _DURATION = 10.0
 def run_deployment(hosts: int, connections: int,
                    duration: float = _DURATION) -> Tuple[float, float]:
     """(aggregate ops/s, mean per-host metadata bytes/s)."""
-    topology = aws_mesh_topology(REGIONS, services_per_region=4,
-                                 service_prefix="node")
-    engine = EmulationEngine(topology, config=EngineConfig(
-        machines=hosts, seed=51))
+    scenario = aws_mesh(REGIONS, services_per_region=4,
+                        service_prefix="node")
+    engine = scenario_engine(scenario, machines=hosts, seed=51)
     rng = RngRegistry(51)
     clients = []
     for index, region in enumerate(REGIONS):

@@ -13,8 +13,7 @@ from typing import Dict
 
 from repro.apps import HttpServer, Wrk2Client, run_iperf_pair
 from repro.baselines import BareMetalTestbed, MininetEmulator
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
 from repro.topogen import star_topology
 
 _DURATION = 15.0
@@ -32,8 +31,7 @@ def topology():
 def systems():
     return {
         "baremetal": BareMetalTestbed(topology(), seed=61),
-        "kollaps": EmulationEngine(topology(),
-                                   config=EngineConfig(machines=3, seed=61)),
+        "kollaps": scenario_engine(topology(), machines=3, seed=61),
         "mininet": MininetEmulator(topology(), seed=61),
     }
 

@@ -12,8 +12,7 @@ from typing import Dict, Tuple
 
 from repro.apps import CurlSwarm, HttpServer
 from repro.baselines import BareMetalTestbed, MininetEmulator
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
 from repro.topogen import star_topology
 
 CLIENT_COUNTS = [1, 2, 4, 8]
@@ -40,8 +39,7 @@ def compute_results(duration: float = _DURATION
         results[("baremetal", clients)] = run_swarm(
             BareMetalTestbed(topology(clients), seed=71), clients, duration)
         results[("kollaps", clients)] = run_swarm(
-            EmulationEngine(topology(clients),
-                            config=EngineConfig(machines=2, seed=71)),
+            scenario_engine(topology(clients), machines=2, seed=71),
             clients, duration)
         results[("mininet", clients)] = run_swarm(
             MininetEmulator(topology(clients), seed=71), clients, duration)

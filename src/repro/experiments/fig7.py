@@ -13,8 +13,7 @@ from typing import Dict
 
 from repro.apps import HttpServer, Wrk2Client
 from repro.baselines import BareMetalTestbed, MininetEmulator
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
 from repro.topogen import star_topology
 
 # The experiment is 6 minutes in the paper; scaled 6x (phases of 20 s).
@@ -52,8 +51,8 @@ def compute_results(phase: float = _PHASE) -> Dict[str, Dict[str, float]]:
     return {
         "baremetal": run_system(BareMetalTestbed(topology(), seed=81),
                                 phase),
-        "kollaps": run_system(EmulationEngine(
-            topology(), config=EngineConfig(machines=3, seed=81)), phase),
+        "kollaps": run_system(
+            scenario_engine(topology(), machines=3, seed=81), phase),
         "mininet": run_system(MininetEmulator(topology(), seed=81), phase),
     }
 

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
-from repro.topogen import throttling_topology
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
+from repro.scenario.topologies import throttling
 
 _STAGE = 10.0
 MBPS = 1e6
@@ -32,8 +31,7 @@ EXPECTED = {
 
 def compute_shares(stage: float = _STAGE) -> Dict:
     """Measured per-client Mb/s for each arrival stage plus teardown."""
-    engine = EmulationEngine(throttling_topology(),
-                             config=EngineConfig(machines=4, seed=91))
+    engine = scenario_engine(throttling(), machines=4, seed=91)
     # Arrivals every stage; departures in reverse order afterwards.
     for index in range(1, 7):
         engine.start_flow(f"c{index}", f"c{index}", f"s{index}",

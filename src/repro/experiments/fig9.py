@@ -14,19 +14,18 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.apps import SmrDeployment
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
-from repro.topogen import aws_mesh_topology
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
+from repro.scenario.topologies import aws_mesh
 
 REGIONS = ["virginia", "oregon", "ireland", "saopaulo", "sydney"]
 _OPERATIONS = 60
 
 
 def run_protocol(protocol: str, operations: int = _OPERATIONS) -> Dict:
-    topology = aws_mesh_topology(REGIONS, services_per_region=2,
-                                 service_prefix="n", jitter_ms=2.0)
-    engine = EmulationEngine(topology, config=EngineConfig(
-        machines=5, seed=101, enforce_bandwidth_sharing=False))
+    scenario = aws_mesh(REGIONS, services_per_region=2,
+                        service_prefix="n", jitter_ms=2.0)
+    engine = scenario_engine(scenario, machines=5, seed=101,
+                             enforce_bandwidth_sharing=False)
     replicas = [f"n-{region}-0" for region in REGIONS]
     deployment = SmrDeployment(engine.sim, engine.dataplane, replicas,
                                protocol=protocol, leader="n-virginia-0")

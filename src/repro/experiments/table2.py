@@ -17,8 +17,8 @@ from repro.baselines.trickle import (
     TRICKLE_DEFAULT_BUFFER_BYTES,
     TRICKLE_TUNED_BUFFER_BYTES,
 )
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
+from repro.scenario.topologies import point_to_point
 from repro.topogen import point_to_point_topology
 from repro.units import format_rate
 
@@ -39,8 +39,8 @@ _DURATION = 12.0
 
 
 def kollaps_error(rate: float, duration: float = _DURATION) -> float:
-    engine = EmulationEngine(point_to_point_topology(rate, latency=0.001),
-                             config=EngineConfig(machines=2, seed=21))
+    engine = scenario_engine(point_to_point(rate, latency=0.001),
+                             machines=2, seed=21)
     result = run_iperf_pair(engine, "client", "server", duration=duration,
                             warmup=4.0)
     return result.relative_error(rate)

@@ -12,19 +12,19 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.apps import Pinger
-from repro.core import EmulationEngine, EngineConfig
-from repro.experiments.base import ExperimentResult, experiment
-from repro.topogen import AWS_REGION_LATENCY_FROM_US_EAST_1, aws_star_topology
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
+from repro.scenario.topologies import (
+    AWS_REGION_LATENCY_FROM_US_EAST_1,
+    aws_star,
+)
 
 _PINGS = 3000  # the paper uses 10 000; jitter stabilizes well before
 
 
 def compute_stats(pings: int = _PINGS) -> Dict[str, object]:
     """Ping stats per destination region from the us-east-1 probe."""
-    engine = EmulationEngine(
-        aws_star_topology(),
-        config=EngineConfig(machines=2, seed=31,
-                            enforce_bandwidth_sharing=False))
+    engine = scenario_engine(aws_star(), machines=2, seed=31,
+                             enforce_bandwidth_sharing=False)
     pingers = {}
     for region in AWS_REGION_LATENCY_FROM_US_EAST_1:
         pingers[region] = Pinger(

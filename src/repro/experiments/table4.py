@@ -23,8 +23,8 @@ from typing import Dict, Optional, Tuple
 from repro.apps import Pinger
 from repro.baselines import MaxinetEmulator, MininetEmulator
 from repro.baselines.mininet import ScaleError
-from repro.core import EmulationEngine, EngineConfig, collapse
-from repro.experiments.base import ExperimentResult, experiment
+from repro.core import collapse
+from repro.experiments.base import ExperimentResult, experiment, scenario_engine
 from repro.sim import RngRegistry
 from repro.topogen import scale_free_topology
 
@@ -78,9 +78,8 @@ def compute_results(pings: int = _PINGS, pair_count: int = _PAIRS
         pairs = pick_pairs(topology, seed=size, pair_count=pair_count)
         theory = theoretical_rtts(topology, pairs)
 
-        engine = EmulationEngine(
-            topology, config=EngineConfig(
-                machines=4, seed=size, enforce_bandwidth_sharing=False))
+        engine = scenario_engine(topology, machines=4, seed=size,
+                                 enforce_bandwidth_sharing=False)
         results[("kollaps", size)] = measure_mse(
             engine, engine.sim, engine.dataplane, pairs, theory, pings)
 

@@ -1,0 +1,68 @@
+"""The unified Scenario API: one fluent choke point for experiments.
+
+The paper's core pitch is that a *single declarative experiment
+description* drives the decentralized emulation end-to-end.  This package
+is that choke point for the reproduction: every way of assembling an
+experiment — the fluent builder, the listing-style text language, the dict
+form, Modelnet XML, the programmatic topology generators and THUNDERSTORM
+scenario scripts — produces a :class:`Scenario` builder, and everything
+downstream consumes the :class:`CompiledScenario` it compiles to::
+
+    from repro.scenario import Scenario, iperf, ping, set_link
+
+    run = (Scenario.build("figure1")
+           .service("c1", image="iperf")
+           .service("sv", image="nginx", replicas=2)
+           .bridges("s1", "s2")
+           .link("c1", "s1", latency="10ms", up="10Mbps")
+           .link("s1", "s2", latency="20ms", up="100Mbps")
+           .link("sv", "s2", latency="5ms", up="50Mbps")
+           .at(30, set_link("s1", "s2", latency="80ms"))
+           .workload(ping("c1", "sv.0"), iperf("c1", "sv.0", duration=15))
+           .deploy(machines=2, seed=42)
+           .compile()
+           .run())
+
+See ``docs/api.md`` for the full quickstart.
+"""
+
+from repro.scenario.builder import (
+    PendingEvent,
+    Scenario,
+    link_down,
+    link_up,
+    node_join,
+    node_leave,
+    set_link,
+)
+from repro.scenario.compiled import CompiledScenario, ScenarioRun
+from repro.scenario.workloads import (
+    FlowWorkload,
+    IperfWorkload,
+    PingWorkload,
+    Workload,
+    flow,
+    iperf,
+    ping,
+    udp_blast,
+)
+
+__all__ = [
+    "Scenario",
+    "CompiledScenario",
+    "ScenarioRun",
+    "PendingEvent",
+    "set_link",
+    "link_down",
+    "link_up",
+    "node_join",
+    "node_leave",
+    "Workload",
+    "FlowWorkload",
+    "IperfWorkload",
+    "PingWorkload",
+    "flow",
+    "iperf",
+    "ping",
+    "udp_blast",
+]

@@ -1,0 +1,199 @@
+"""Declarative workload specs attached to a :class:`Scenario`.
+
+A workload is *what runs on the emulated network*: bulk flows, iperf
+measurements, ping probes, UDP blasts.  Specs are plain data until
+:meth:`CompiledScenario.run` installs them on a live engine; afterwards
+each spec collects its own result, so a scenario run returns application
+measurements (the paper's "what unmodified applications observe") without
+any hand-rolled engine plumbing at the call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Union
+
+from repro.units import parse_rate, parse_time
+
+__all__ = ["Workload", "FlowWorkload", "IperfWorkload", "PingWorkload",
+           "flow", "iperf", "ping", "udp_blast"]
+
+Number = Union[str, float, int]
+
+
+def _rate(value: Optional[Number]) -> float:
+    if value is None:
+        return float("inf")
+    return parse_rate(value)
+
+
+def _time(value: Number) -> float:
+    return parse_time(value)
+
+
+class Workload:
+    """Base: ``install`` before the run, ``collect`` after it."""
+
+    key: Hashable
+
+    def install(self, engine) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def collect(self, engine, until: float):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def horizon(self) -> float:
+        """Latest time this workload needs the run to reach (0 = open)."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FlowWorkload(Workload):
+    """A bulk flow on the fluid plane; result is its mean throughput."""
+
+    source: str
+    destination: str
+    demand: float = float("inf")
+    protocol: str = "tcp"
+    congestion_control: str = "cubic"
+    start: float = 0.0
+    stop: Optional[float] = None
+    key: Hashable = None
+
+    def __post_init__(self) -> None:
+        if self.key is None:
+            object.__setattr__(self, "key",
+                               f"{self.source}->{self.destination}")
+
+    def install(self, engine) -> None:
+        engine.start_flow(self.key, self.source, self.destination,
+                          protocol=self.protocol,
+                          congestion_control=self.congestion_control,
+                          demand=self.demand, start_time=self.start)
+        if self.stop is not None:
+            engine.sim.at(self.stop,
+                          lambda: engine.stop_flow(self.key))
+
+    def collect(self, engine, until: float) -> float:
+        end = until if self.stop is None else min(self.stop, until)
+        return engine.fluid.mean_throughput(self.key, self.start, end)
+
+    def horizon(self) -> float:
+        return self.stop if self.stop is not None else 0.0
+
+
+@dataclass(frozen=True)
+class IperfWorkload(Workload):
+    """An iperf3-like measurement: a timed flow reported as goodput."""
+
+    source: str
+    destination: str
+    duration: float = 60.0
+    demand: float = float("inf")
+    protocol: str = "tcp"
+    congestion_control: str = "cubic"
+    warmup: float = 2.0
+    start: float = 0.0
+    key: Hashable = None
+
+    def __post_init__(self) -> None:
+        if self.key is None:
+            object.__setattr__(
+                self, "key", f"iperf:{self.source}->{self.destination}")
+
+    def install(self, engine) -> None:
+        engine.start_flow(self.key, self.source, self.destination,
+                          protocol=self.protocol,
+                          congestion_control=self.congestion_control,
+                          demand=self.demand, start_time=self.start)
+        engine.sim.at(self.start + self.duration,
+                      lambda: engine.stop_flow(self.key))
+
+    def collect(self, engine, until: float) -> "IperfResult":
+        from repro.apps.iperf import GOODPUT_FACTOR, IperfResult
+        wire = engine.fluid.mean_throughput(
+            self.key, self.start + self.warmup, self.start + self.duration)
+        series = tuple((time, rate * GOODPUT_FACTOR)
+                       for time, rate in engine.fluid.series(self.key))
+        return IperfResult(mean_goodput=wire * GOODPUT_FACTOR,
+                           mean_wire_rate=wire, duration=self.duration,
+                           series=series)
+
+    def horizon(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class PingWorkload(Workload):
+    """Echo probing on the packet plane; result is the PingStats."""
+
+    source: str
+    destination: str
+    count: int = 100
+    interval: float = 0.010
+    start: float = 0.0
+    key: Hashable = None
+
+    def __post_init__(self) -> None:
+        if self.key is None:
+            object.__setattr__(
+                self, "key", f"ping:{self.source}->{self.destination}")
+
+    def install(self, engine) -> None:
+        from repro.apps.ping import Pinger
+        pinger = Pinger(engine.sim, engine.dataplane, self.source,
+                        self.destination, count=self.count,
+                        interval=self.interval)
+        if self.start > 0:
+            engine.sim.at(self.start, pinger.start)
+        else:
+            pinger.start()
+        # Stashed per-engine so collect() can find its own stats even when
+        # the same spec is run twice on different engines.
+        engine.__dict__.setdefault("_scenario_pingers", {})[self.key] = pinger
+
+    def collect(self, engine, until: float):
+        return engine._scenario_pingers[self.key].stats
+
+    def horizon(self) -> float:
+        return self.start + self.count * self.interval + 1.0
+
+
+def flow(source: str, destination: str, *, rate: Optional[Number] = None,
+         protocol: str = "tcp", congestion_control: str = "cubic",
+         start: Number = 0.0, stop: Optional[Number] = None,
+         key: Hashable = None) -> FlowWorkload:
+    """A long-lived bulk flow; ``rate`` caps its demand (default: greedy)."""
+    return FlowWorkload(source, destination, demand=_rate(rate),
+                        protocol=protocol,
+                        congestion_control=congestion_control,
+                        start=_time(start),
+                        stop=None if stop is None else _time(stop), key=key)
+
+
+def iperf(source: str, destination: str, *, duration: Number = 60.0,
+          rate: Optional[Number] = None, protocol: str = "tcp",
+          congestion_control: str = "cubic", warmup: Number = 2.0,
+          start: Number = 0.0, key: Hashable = None) -> IperfWorkload:
+    """An iperf3-like timed throughput measurement."""
+    return IperfWorkload(source, destination, duration=_time(duration),
+                         demand=_rate(rate), protocol=protocol,
+                         congestion_control=congestion_control,
+                         warmup=_time(warmup), start=_time(start), key=key)
+
+
+def ping(source: str, destination: str, *, count: int = 100,
+         interval: Number = 0.010, start: Number = 0.0,
+         key: Hashable = None) -> PingWorkload:
+    """``count`` echo requests at ``interval``; collects RTT statistics."""
+    return PingWorkload(source, destination, count=int(count),
+                        interval=_time(interval), start=_time(start), key=key)
+
+
+def udp_blast(source: str, destination: str, rate: Number, *,
+              start: Number = 0.0, stop: Optional[Number] = None,
+              key: Hashable = None) -> FlowWorkload:
+    """A constant-bit-rate UDP flood that never backs off (§3)."""
+    return FlowWorkload(source, destination, demand=_rate(rate),
+                        protocol="udp", start=_time(start),
+                        stop=None if stop is None else _time(stop), key=key)

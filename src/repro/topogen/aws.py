@@ -1,22 +1,27 @@
-"""Amazon EC2 inter-region latency and jitter data plus topology builders.
+"""Amazon EC2 topology builders (deprecation shims over ``repro.scenario``).
 
-Two data sets are embedded:
+The latency/jitter data sets and the generators now live in
+:mod:`repro.scenario.topologies` (re-exported here unchanged):
 
 * :data:`AWS_REGION_LATENCY_FROM_US_EAST_1` — the paper's Table 3 exactly:
   one-way latency (ms) and measured jitter (ms) from ``us-east-1`` to twelve
   regions.
 * :data:`INTER_REGION_RTT_MS` — round-trip latencies between the five
-  regions of the BFT-SMaRt/Wheat experiment ([78], Table II).  The original
-  table is not redistributable; the values below are the published
-  measurements rounded to the millisecond and are only used to shape the
-  Figure 9/10 workloads.
+  regions of the BFT-SMaRt/Wheat experiment ([78], Table II), rounded to
+  the millisecond, used only to shape the Figure 9/10 workloads.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-from repro.topology import Bridge, LinkProperties, Service, Topology
+from repro.scenario import topologies as _topologies
+from repro.scenario.topologies import (  # noqa: F401  (re-exported data)
+    AWS_REGION_LATENCY_FROM_US_EAST_1,
+    INTER_REGION_RTT_MS,
+    region_rtt,
+)
+from repro.topology import Topology
 
 __all__ = [
     "AWS_REGION_LATENCY_FROM_US_EAST_1",
@@ -25,86 +30,14 @@ __all__ = [
     "aws_mesh_topology",
 ]
 
-# Table 3: destination -> (one-way latency ms, measured EC2 jitter ms).
-AWS_REGION_LATENCY_FROM_US_EAST_1: Dict[str, Tuple[float, float]] = {
-    "us-east-1": (6.0, 0.5607),
-    "us-east-2": (17.0, 1.2411),
-    "ca-central-1": (24.0, 1.2451),
-    "us-west-1": (70.0, 1.3627),
-    "eu-west-1": (78.0, 1.2000),
-    "eu-west-2": (85.0, 1.6609),
-    "eu-north-1": (119.0, 1.2850),
-    "ap-northeast-1": (170.0, 1.4217),
-    "ap-south-1": (194.0, 2.0233),
-    "ap-northeast-2": (200.0, 1.8364),
-    "ap-southeast-2": (208.0, 1.4277),
-    "ap-southeast-1": (249.0, 1.3728),
-}
-
-# Round-trip latency (ms) between the five regions of [78]; symmetric.
-_WHEAT_REGIONS = ("virginia", "oregon", "ireland", "saopaulo", "sydney")
-INTER_REGION_RTT_MS: Dict[Tuple[str, str], float] = {
-    ("virginia", "oregon"): 81.0,
-    ("virginia", "ireland"): 81.0,
-    ("virginia", "saopaulo"): 146.0,
-    ("virginia", "sydney"): 229.0,
-    ("oregon", "ireland"): 161.0,
-    ("oregon", "saopaulo"): 182.0,
-    ("oregon", "sydney"): 161.0,
-    ("ireland", "saopaulo"): 191.0,
-    ("ireland", "sydney"): 309.0,
-    ("saopaulo", "sydney"): 326.0,
-}
-
-# Additional regions used by the Cassandra deployment (§5.6) and the
-# what-if scenario (Figure 11): Frankfurt <-> Sydney and Frankfurt <-> Seoul.
-INTER_REGION_RTT_MS.update({
-    ("frankfurt", "sydney"): 290.0,
-    ("frankfurt", "seoul"): 145.0,  # the "halved latency" move of Figure 11
-    ("frankfurt", "virginia"): 89.0,
-    ("frankfurt", "ireland"): 25.0,
-})
-
-
-def region_rtt(a: str, b: str) -> float:
-    """Symmetric lookup into :data:`INTER_REGION_RTT_MS` (seconds)."""
-    if a == b:
-        return 0.002  # intra-region round trip
-    value = INTER_REGION_RTT_MS.get((a, b)) or INTER_REGION_RTT_MS.get((b, a))
-    if value is None:
-        raise KeyError(f"no RTT data between {a!r} and {b!r}")
-    return value / 1000.0
-
 
 def aws_star_topology(*, bandwidth: float = 1e9,
                       source: str = "us-east-1",
                       symmetric_jitter: bool = False) -> Topology:
-    """One probe service per Table 3 destination, all reached from ``source``.
-
-    Each destination hangs off its own bridge so every pair
-    ``(probe, target)`` traverses exactly the Table 3 latency and jitter.
-    By default jitter rides only the forward direction, so an echo RTT's
-    standard deviation equals the configured value (the Table 3 EC2 column
-    was itself measured from ping RTTs); ``symmetric_jitter=True`` jitters
-    both directions, composing to sqrt(2) of the configured value.
-    """
-    topology = Topology("aws-star")
-    topology.add_service(Service("probe", image="ping"))
-    topology.add_bridge(Bridge("igw"))
-    topology.add_link("probe", "igw",
-                      LinkProperties(latency=0.0001, bandwidth=bandwidth))
-    for region, (latency_ms, jitter_ms) in \
-            AWS_REGION_LATENCY_FROM_US_EAST_1.items():
-        service = f"target-{region}"
-        topology.add_service(Service(service, image="ping"))
-        forward = LinkProperties(latency=latency_ms / 1000.0,
-                                 bandwidth=bandwidth,
-                                 jitter=jitter_ms / 1000.0)
-        backward = forward if symmetric_jitter else LinkProperties(
-            latency=latency_ms / 1000.0, bandwidth=bandwidth)
-        topology.add_link("igw", service, forward,
-                          down_properties=backward)
-    return topology
+    """One probe service per Table 3 destination, all reached from ``source``."""
+    return _topologies.aws_star(
+        bandwidth=bandwidth, source=source,
+        symmetric_jitter=symmetric_jitter).compile().topology
 
 
 def aws_mesh_topology(regions: Sequence[str], services_per_region: int = 1, *,
@@ -112,32 +45,8 @@ def aws_mesh_topology(regions: Sequence[str], services_per_region: int = 1, *,
                       service_prefix: str = "node",
                       rtt_override: Optional[Dict[Tuple[str, str], float]] = None,
                       rtt_scale: float = 1.0) -> Topology:
-    """A geo-distributed deployment: one bridge per region, full mesh between.
-
-    Inter-region links carry half the region pair's RTT in each direction;
-    ``rtt_scale`` supports the Figure 11 what-if (halved latencies) and
-    ``rtt_override`` lets callers substitute measured matrices.  Services are
-    named ``{prefix}-{region}-{index}``.
-    """
-    topology = Topology("aws-mesh")
-    for region in regions:
-        topology.add_bridge(Bridge(f"br-{region}"))
-        for index in range(services_per_region):
-            name = f"{service_prefix}-{region}-{index}"
-            topology.add_service(Service(name))
-            topology.add_link(name, f"br-{region}",
-                              LinkProperties(latency=0.0005,
-                                             bandwidth=bandwidth))
-    for i, region_a in enumerate(regions):
-        for region_b in regions[i + 1:]:
-            if rtt_override is not None:
-                rtt = (rtt_override.get((region_a, region_b))
-                       or rtt_override[(region_b, region_a)]) / 1000.0
-            else:
-                rtt = region_rtt(region_a, region_b)
-            rtt *= rtt_scale
-            topology.add_link(
-                f"br-{region_a}", f"br-{region_b}",
-                LinkProperties(latency=rtt / 2.0, bandwidth=bandwidth,
-                               jitter=jitter_ms / 1000.0 / 2.0))
-    return topology
+    """A geo-distributed deployment: one bridge per region, full mesh between."""
+    return _topologies.aws_mesh(
+        regions, services_per_region, bandwidth=bandwidth,
+        jitter_ms=jitter_ms, service_prefix=service_prefix,
+        rtt_override=rtt_override, rtt_scale=rtt_scale).compile().topology

@@ -1,24 +1,21 @@
-"""Data-center topology generators: fat-tree and jellyfish.
+"""Data-center topology generators (deprecation shims over ``repro.scenario``).
 
 The paper positions Kollaps for WAN emulation and names data-center
-environments as the time-dilation future-work target (§6/§7).  These
-generators provide the standard DC shapes for such studies:
+environments as the time-dilation future-work target (§6/§7).  The
+generators now live in :mod:`repro.scenario.topologies`:
 
-* :func:`fat_tree_topology` — the canonical k-ary fat-tree [Al-Fares et
-  al., SIGCOMM'08]: ``k`` pods of ``k/2`` edge and ``k/2`` aggregation
-  switches, ``(k/2)^2`` cores, hosts on the edge; full bisection
-  bandwidth when every link has equal capacity.
-* :func:`jellyfish_topology` — a random regular graph of top-of-rack
-  switches [Singla et al., NSDI'12]; degree-bounded, seeded and
-  deterministic.
+* :func:`repro.scenario.topologies.fat_tree` — the canonical k-ary fat-tree
+  [Al-Fares et al., SIGCOMM'08],
+* :func:`repro.scenario.topologies.jellyfish` — a random regular graph of
+  top-of-rack switches [Singla et al., NSDI'12]; seeded and deterministic.
 """
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional
+from typing import Optional
 
-from repro.topology import Bridge, LinkProperties, Service, Topology
+from repro.scenario import topologies as _topologies
+from repro.topology import Topology
 
 __all__ = ["fat_tree_topology", "jellyfish_topology"]
 
@@ -26,128 +23,16 @@ __all__ = ["fat_tree_topology", "jellyfish_topology"]
 def fat_tree_topology(k: int, *, bandwidth: float = 10e9,
                       latency: float = 25e-6,
                       hosts_per_edge: Optional[int] = None) -> Topology:
-    """A k-ary fat-tree with hosts attached to the edge layer.
-
-    ``k`` must be even.  ``hosts_per_edge`` defaults to ``k/2`` (the full
-    fat-tree); smaller values thin out the host layer while keeping the
-    switching fabric intact.
-    """
-    if k < 2 or k % 2:
-        raise ValueError(f"fat-tree arity must be even and >= 2, got {k}")
-    half = k // 2
-    if hosts_per_edge is None:
-        hosts_per_edge = half
-    if not 0 < hosts_per_edge <= half:
-        raise ValueError(
-            f"hosts_per_edge must be in 1..{half}, got {hosts_per_edge}")
-    topology = Topology(f"fat-tree-k{k}")
-    properties = LinkProperties(latency=latency, bandwidth=bandwidth)
-
-    cores = []
-    for index in range(half * half):
-        core = f"core{index}"
-        topology.add_bridge(Bridge(core))
-        cores.append(core)
-
-    host_index = 0
-    for pod in range(k):
-        aggregations = []
-        for a in range(half):
-            name = f"p{pod}-agg{a}"
-            topology.add_bridge(Bridge(name))
-            aggregations.append(name)
-            # Each aggregation switch connects to `half` cores: the a-th
-            # aggregation switch uses cores [a*half, (a+1)*half).
-            for c in range(half):
-                topology.add_link(name, cores[a * half + c], properties)
-        for e in range(half):
-            edge = f"p{pod}-edge{e}"
-            topology.add_bridge(Bridge(edge))
-            for aggregation in aggregations:
-                topology.add_link(edge, aggregation, properties)
-            for _ in range(hosts_per_edge):
-                host = f"h{host_index}"
-                host_index += 1
-                topology.add_service(Service(host, image="workload"))
-                topology.add_link(host, edge, properties)
-    return topology
+    """A k-ary fat-tree with hosts attached to the edge layer."""
+    return _topologies.fat_tree(
+        k, bandwidth=bandwidth, latency=latency,
+        hosts_per_edge=hosts_per_edge).compile().topology
 
 
 def jellyfish_topology(switches: int, degree: int, hosts_per_switch: int = 1,
                        *, bandwidth: float = 10e9, latency: float = 25e-6,
                        seed: int = 0) -> Topology:
-    """A jellyfish: random ``degree``-regular switch graph, hosts attached.
-
-    Uses the standard incremental construction: repeatedly join random
-    pairs of switches with free ports; when stuck, break an existing link
-    to free ports up.  Deterministic for a given ``seed``.
-    """
-    if switches < degree + 1:
-        raise ValueError("need more switches than the degree")
-    if degree < 2:
-        raise ValueError(f"degree must be >= 2, got {degree}")
-    rng = random.Random(seed)
-    topology = Topology(f"jellyfish-s{switches}-d{degree}")
-    properties = LinkProperties(latency=latency, bandwidth=bandwidth)
-
-    names = [f"sw{index}" for index in range(switches)]
-    for name in names:
-        topology.add_bridge(Bridge(name))
-
-    free = {name: degree for name in names}
-    edges = set()
-
-    def connect(first: str, second: str) -> None:
-        edges.add((min(first, second), max(first, second)))
-        topology.add_link(first, second, properties)
-        free[first] -= 1
-        free[second] -= 1
-
-    def disconnect(first: str, second: str) -> None:
-        edges.discard((min(first, second), max(first, second)))
-        topology.remove_link(first, second)
-        free[first] += 1
-        free[second] += 1
-
-    stuck = 0
-    while True:
-        candidates = [name for name in names if free[name] > 0]
-        open_pairs = [(a, b) for i, a in enumerate(candidates)
-                      for b in candidates[i + 1:]
-                      if (a, b) not in edges and (b, a) not in edges]
-        if not open_pairs:
-            # Fewer than two joinable port owners left: rewire if a node
-            # still has 2+ free ports, else done.
-            rich = [name for name in candidates if free[name] >= 2]
-            if not rich or not edges or stuck > switches * degree:
-                break
-            stuck += 1
-            node = rng.choice(rich)
-
-            def undirected(first: str, second: str):
-                return (min(first, second), max(first, second))
-
-            # Rewire an edge neither endpoint of which already touches
-            # the node (otherwise reconnecting would duplicate a link).
-            rewirable = [edge for edge in sorted(edges)
-                         if node not in edge
-                         and undirected(node, edge[0]) not in edges
-                         and undirected(node, edge[1]) not in edges]
-            if not rewirable:
-                continue
-            victim = rng.choice(rewirable)
-            disconnect(*victim)
-            connect(node, victim[0])
-            connect(node, victim[1])
-            continue
-        stuck = 0
-        connect(*rng.choice(sorted(open_pairs)))
-
-    host_index = 0
-    for name in names:
-        for _ in range(hosts_per_switch):
-            host = f"h{host_index}"
-            host_index += 1
-            topology.add_service(Service(host, image="workload"))
-            topology.add_link(host, name, properties)
-    return topology
+    """A jellyfish: random ``degree``-regular switch graph, hosts attached."""
+    return _topologies.jellyfish(
+        switches, degree, hosts_per_switch, bandwidth=bandwidth,
+        latency=latency, seed=seed).compile().topology

@@ -1,24 +1,15 @@
-"""Barabási–Albert scale-free topologies (§5.5).
+"""Barabási–Albert scale-free topologies (deprecation shim, §5.5).
 
-The paper evaluates latency accuracy on "large-scale topologies generated
-using the preferential attachment algorithm [26]", with roughly two thirds
-of the elements being end-nodes and one third switches (1000 elements = 666
-nodes + 334 switches).  We reproduce that construction:
-
-1. grow a preferential-attachment backbone among the switches,
-2. attach each end-node to a switch chosen preferentially by degree.
-
-Link latencies are drawn from seeded uniform ranges (backbone 2–10 ms,
-access 1–2 ms), giving minimum theoretical RTTs in the paper's 10–22 ms
-ballpark.  The generator is fully deterministic for a given seed.
+The generator now lives in :func:`repro.scenario.topologies.scale_free`,
+which returns a composable :class:`~repro.scenario.Scenario` builder; this
+wrapper compiles it for legacy call sites.  Construction remains fully
+deterministic for a given seed.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Optional
-
-from repro.topology import Bridge, LinkProperties, Service, Topology
+from repro.scenario import topologies as _topologies
+from repro.topology import Topology
 
 __all__ = ["scale_free_topology"]
 
@@ -35,49 +26,10 @@ def scale_free_topology(total_nodes: int, *, seed: int = 0,
     ``total_nodes`` counts services plus bridges, matching the paper's
     "topology size" column in Table 4 (1000 → 666 end-nodes + 334 switches).
     """
-    if total_nodes < 4:
-        raise ValueError("scale-free topology needs at least 4 elements")
-    rng = random.Random(seed)
-    switch_count = max(2, round(total_nodes * switch_fraction))
-    node_count = total_nodes - switch_count
-
-    topology = Topology(f"scale-free-{total_nodes}")
-    switches = [f"sw{i}" for i in range(switch_count)]
-    for name in switches:
-        topology.add_bridge(Bridge(name))
-
-    # Preferential-attachment backbone (Barabási–Albert with m edges).
-    # `attachment_targets` holds one entry per incident edge, so sampling
-    # uniformly from it is degree-proportional sampling.
-    attachment_targets = [switches[0], switches[1]]
-    _backbone_link(topology, switches[0], switches[1], rng,
-                   backbone_latency_range, backbone_bandwidth)
-    for index in range(2, switch_count):
-        new_switch = switches[index]
-        edges = min(attachment_edges, index)
-        chosen = set()
-        while len(chosen) < edges:
-            chosen.add(rng.choice(attachment_targets))
-        for target in sorted(chosen):
-            _backbone_link(topology, new_switch, target, rng,
-                           backbone_latency_range, backbone_bandwidth)
-            attachment_targets.append(target)
-            attachment_targets.append(new_switch)
-
-    # End-nodes attach preferentially, like stub networks joining the core.
-    for index in range(node_count):
-        name = f"n{index}"
-        topology.add_service(Service(name))
-        target = rng.choice(attachment_targets)
-        latency = rng.uniform(*access_latency_range)
-        topology.add_link(name, target,
-                          LinkProperties(latency=latency,
-                                         bandwidth=access_bandwidth))
-    return topology
-
-
-def _backbone_link(topology: Topology, source: str, destination: str,
-                   rng: random.Random, latency_range, bandwidth: float) -> None:
-    latency = rng.uniform(*latency_range)
-    topology.add_link(source, destination,
-                      LinkProperties(latency=latency, bandwidth=bandwidth))
+    return _topologies.scale_free(
+        total_nodes, seed=seed, switch_fraction=switch_fraction,
+        attachment_edges=attachment_edges,
+        backbone_bandwidth=backbone_bandwidth,
+        access_bandwidth=access_bandwidth,
+        backbone_latency_range=backbone_latency_range,
+        access_latency_range=access_latency_range).compile().topology

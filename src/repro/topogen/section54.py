@@ -1,4 +1,4 @@
-"""The decentralized-throttling topology of §5.4 (Figure 8).
+"""The decentralized-throttling topology of §5.4 (deprecation shim).
 
 Six clients (C1–C6), three bridges (B1–B3) and six servers (S1–S6):
 
@@ -7,39 +7,19 @@ Six clients (C1–C6), three bridges (B1–B3) and six servers (S1–S6):
 * every server attaches to B3 with 50 Mb/s at 5 ms,
 * B1—B2 is 50 Mb/s at 10 ms, B2—B3 is 100 Mb/s at 10 ms.
 
-Client ``ci`` talks to server ``si``; the staggered arrivals produce the
-analytic share schedule reproduced in ``benchmarks/test_fig8_throttling.py``.
+The generator now lives in :func:`repro.scenario.topologies.throttling`;
+client ``ci`` talks to server ``si`` and the staggered arrivals produce
+the analytic share schedule of ``benchmarks/test_fig8_throttling.py``.
 """
 
 from __future__ import annotations
 
-from repro.topology import Bridge, LinkProperties, Service, Topology
+from repro.scenario import topologies as _topologies
+from repro.scenario.topologies import CLIENT_ACCESS_PROFILE  # noqa: F401
+from repro.topology import Topology
 
 __all__ = ["throttling_topology", "CLIENT_ACCESS_PROFILE"]
 
-# (bandwidth Mb/s, latency ms) for clients 1..3 on each side.
-CLIENT_ACCESS_PROFILE = ((50e6, 0.010), (50e6, 0.005), (10e6, 0.005))
-
 
 def throttling_topology() -> Topology:
-    topology = Topology("section54")
-    for name in ("b1", "b2", "b3"):
-        topology.add_bridge(Bridge(name))
-    for index in range(1, 7):
-        topology.add_service(Service(f"c{index}", image="iperf-client"))
-        topology.add_service(Service(f"s{index}", image="iperf-server"))
-    # Clients 1-3 on B1, clients 4-6 on B2, same access profile.
-    for offset, bridge in ((0, "b1"), (3, "b2")):
-        for position, (bandwidth, latency) in enumerate(CLIENT_ACCESS_PROFILE):
-            client = f"c{offset + position + 1}"
-            topology.add_link(client, bridge,
-                              LinkProperties(latency=latency,
-                                             bandwidth=bandwidth))
-    for index in range(1, 7):
-        topology.add_link(f"s{index}", "b3",
-                          LinkProperties(latency=0.005, bandwidth=50e6))
-    topology.add_link("b1", "b2",
-                      LinkProperties(latency=0.010, bandwidth=50e6))
-    topology.add_link("b2", "b3",
-                      LinkProperties(latency=0.010, bandwidth=100e6))
-    return topology
+    return _topologies.throttling().compile().topology

@@ -1,10 +1,17 @@
-"""Elementary topology shapes used across the micro-benchmarks."""
+"""Elementary topology shapes (deprecation shims over ``repro.scenario``).
+
+The generators now live in :mod:`repro.scenario.topologies`, where each
+returns a composable :class:`~repro.scenario.Scenario` builder; these
+wrappers compile the builder and return the bare topology for legacy call
+sites.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
-from repro.topology import Bridge, LinkProperties, Service, Topology
+from repro.scenario import topologies as _topologies
+from repro.topology import Topology
 
 __all__ = ["point_to_point_topology", "dumbbell_topology", "star_topology",
            "tree_topology"]
@@ -14,93 +21,32 @@ def point_to_point_topology(bandwidth: float, latency: float = 0.001, *,
                             jitter: float = 0.0, loss: float = 0.0,
                             client: str = "client",
                             server: str = "server") -> Topology:
-    """Two services joined by a single switch (the Table 2 / §5.1 shape).
-
-    ``latency``, ``jitter`` and ``loss`` are end-to-end: each half link gets
-    a share such that path composition (sum, root-sum-square, 1-product)
-    recovers the requested values.
-    """
-    topology = Topology("point-to-point")
-    topology.add_service(Service(client, image="iperf"))
-    topology.add_service(Service(server, image="iperf"))
-    topology.add_bridge(Bridge("s0"))
-    half = LinkProperties(latency=latency / 2.0, bandwidth=bandwidth,
-                          jitter=jitter / 2.0 ** 0.5,
-                          loss=1.0 - (1.0 - loss) ** 0.5)
-    topology.add_link(client, "s0", half)
-    topology.add_link("s0", server, half)
-    return topology
+    """Two services joined by a single switch (the Table 2 / §5.1 shape)."""
+    return _topologies.point_to_point(
+        bandwidth, latency, jitter=jitter, loss=loss, client=client,
+        server=server).compile().topology
 
 
 def dumbbell_topology(pairs: int, *, access_bandwidth: float = 1e9,
                       shared_bandwidth: float = 50e6,
                       access_latency: float = 0.001,
                       shared_latency: float = 0.010) -> Topology:
-    """``pairs`` clients on one side, ``pairs`` servers on the other.
-
-    All traffic crosses the single shared link between the two bridges —
-    the §5.2 metadata-scalability workload.
-    """
-    if pairs < 1:
-        raise ValueError("a dumbbell needs at least one pair")
-    topology = Topology(f"dumbbell-{pairs}")
-    topology.add_bridge(Bridge("left"))
-    topology.add_bridge(Bridge("right"))
-    topology.add_link("left", "right",
-                      LinkProperties(latency=shared_latency,
-                                     bandwidth=shared_bandwidth))
-    access = LinkProperties(latency=access_latency,
-                            bandwidth=access_bandwidth)
-    for index in range(pairs):
-        client = f"client{index}"
-        server = f"server{index}"
-        topology.add_service(Service(client, image="iperf"))
-        topology.add_service(Service(server, image="iperf"))
-        topology.add_link(client, "left", access)
-        topology.add_link("right", server, access)
-    return topology
+    """``pairs`` client/server pairs sharing one bottleneck link (§5.2)."""
+    return _topologies.dumbbell(
+        pairs, access_bandwidth=access_bandwidth,
+        shared_bandwidth=shared_bandwidth, access_latency=access_latency,
+        shared_latency=shared_latency).compile().topology
 
 
 def star_topology(leaves: Sequence[str], *, bandwidth: float = 1e9,
-                  latency: float = 0.001,
-                  hub: str = "hub") -> Topology:
+                  latency: float = 0.001, hub: str = "hub") -> Topology:
     """All ``leaves`` hang off one central bridge."""
-    topology = Topology("star")
-    topology.add_bridge(Bridge(hub))
-    properties = LinkProperties(latency=latency, bandwidth=bandwidth)
-    for leaf in leaves:
-        topology.add_service(Service(leaf))
-        topology.add_link(leaf, hub, properties)
-    return topology
+    return _topologies.star(leaves, bandwidth=bandwidth, latency=latency,
+                            hub=hub).compile().topology
 
 
 def tree_topology(depth: int, fanout: int, *, bandwidth: float = 1e9,
                   latency: float = 0.001) -> Topology:
-    """A complete switch tree with services at the leaves.
-
-    The root and internal nodes are bridges named ``b<level>.<index>``;
-    leaves are services named ``leaf<index>``.
-    """
-    if depth < 1:
-        raise ValueError("tree depth must be >= 1")
-    topology = Topology(f"tree-d{depth}-f{fanout}")
-    properties = LinkProperties(latency=latency, bandwidth=bandwidth)
-    topology.add_bridge(Bridge("b0.0"))
-    previous = ["b0.0"]
-    for level in range(1, depth):
-        current = []
-        for parent_index, parent in enumerate(previous):
-            for child in range(fanout):
-                name = f"b{level}.{parent_index * fanout + child}"
-                topology.add_bridge(Bridge(name))
-                topology.add_link(parent, name, properties)
-                current.append(name)
-        previous = current
-    leaf_index = 0
-    for parent in previous:
-        for _ in range(fanout):
-            name = f"leaf{leaf_index}"
-            topology.add_service(Service(name))
-            topology.add_link(parent, name, properties)
-            leaf_index += 1
-    return topology
+    """A complete switch tree with services at the leaves."""
+    return _topologies.tree(depth, fanout, bandwidth=bandwidth,
+                            latency=latency).compile().topology

@@ -5,6 +5,10 @@ The experiment description language mirrors the paper's Listing 1/2:
 routers), ``links`` (uni- or bi-directional, with latency / bandwidth /
 jitter / loss), and ``dynamic`` events that mutate any of these while the
 experiment runs.
+
+The ``parse_*`` functions are deprecation shims over the unified Scenario
+API; new code should build through :class:`repro.scenario.Scenario`
+(``from_text`` / ``from_dict`` / ``from_xml`` / the fluent builder).
 """
 
 from repro.topology.model import (

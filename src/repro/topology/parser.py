@@ -1,4 +1,12 @@
-"""Parsers for the experiment description language.
+"""Parsers for the experiment description language (deprecation shims).
+
+These functions are kept for backwards compatibility; they are now thin
+front-ends over the unified Scenario API (:mod:`repro.scenario`), which is
+the single validated path from any description form to a runnable
+experiment.  New code should use :class:`repro.scenario.Scenario` directly
+(``Scenario.from_text(...)`` / ``.from_dict(...)`` / ``.from_xml(...)``)
+and keep the builder, rather than immediately flattening to a
+``(Topology, EventSchedule)`` pair.
 
 Three input forms are supported, mirroring §3 "Deployment Generator":
 
@@ -12,41 +20,12 @@ Three input forms are supported, mirroring §3 "Deployment Generator":
 
 from __future__ import annotations
 
-import xml.etree.ElementTree as ElementTree
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
-from repro.topology.events import DynamicEvent, EventAction, EventSchedule
-from repro.topology.model import (
-    Bridge,
-    LinkProperties,
-    Service,
-    Topology,
-    TopologyError,
-)
-from repro.units import parse_rate, parse_time
+from repro.topology.events import EventSchedule
+from repro.topology.model import Topology
 
 __all__ = ["parse_experiment", "parse_experiment_text", "parse_modelnet_xml"]
-
-# Fields of a link stanza that describe properties rather than endpoints.
-_LINK_PROPERTY_KEYS = ("latency", "up", "down", "bandwidth", "jitter", "loss",
-                       "jitter_distribution")
-
-
-def _link_properties(spec: Dict, *, direction: str = "up") -> LinkProperties:
-    """Build :class:`LinkProperties` from a link stanza.
-
-    ``latency`` defaults to milliseconds and bandwidth accepts ``10Mbps``
-    style strings; ``up`` and ``down`` select the direction's capacity with
-    ``bandwidth`` as a symmetric fallback.
-    """
-    bandwidth_spec = spec.get(direction, spec.get("bandwidth"))
-    bandwidth = parse_rate(bandwidth_spec) if bandwidth_spec is not None else float("inf")
-    latency = parse_time(spec.get("latency", 0.0), default_unit="ms")
-    jitter = parse_time(spec.get("jitter", 0.0), default_unit="ms")
-    loss = float(spec.get("loss", 0.0))
-    distribution = spec.get("jitter_distribution", "normal")
-    return LinkProperties(latency=latency, bandwidth=bandwidth, jitter=jitter,
-                          loss=loss, jitter_distribution=distribution)
 
 
 def parse_experiment(description: Dict) -> Tuple[Topology, EventSchedule]:
@@ -61,90 +40,10 @@ def parse_experiment(description: Dict) -> Tuple[Topology, EventSchedule]:
         },
          "dynamic": [{"time": ..., "action"/properties...}, ...]}
     """
-    body = description.get("experiment", description)
-    topology = Topology(body.get("name", "experiment"))
+    from repro.scenario.frontends import scenario_from_dict
+    compiled = scenario_from_dict(description).compile()
+    return compiled.topology, compiled.schedule
 
-    for spec in body.get("services", []):
-        topology.add_service(Service(
-            name=_require(spec, "name", "service"),
-            image=spec.get("image", "scratch"),
-            replicas=int(spec.get("replicas", 1)),
-            command=spec.get("command"),
-            tags=dict(spec.get("tags", {})),
-        ))
-    for spec in body.get("bridges", []):
-        topology.add_bridge(Bridge(name=_require(spec, "name", "bridge")))
-    for spec in body.get("links", []):
-        origin = _require(spec, "orig", "link")
-        destination = _require(spec, "dest", "link")
-        bidirectional = bool(spec.get("bidirectional", True))
-        topology.add_link(
-            origin, destination,
-            _link_properties(spec, direction="up"),
-            bidirectional=bidirectional,
-            down_properties=_link_properties(spec, direction="down")
-            if bidirectional else None,
-            network=spec.get("network", "default"),
-        )
-
-    schedule = EventSchedule(
-        [_parse_event(spec) for spec in description.get("dynamic", [])])
-    topology.validate()
-    return topology, schedule
-
-
-def _require(spec: Dict, key: str, kind: str) -> str:
-    try:
-        return spec[key]
-    except KeyError:
-        raise TopologyError(f"{kind} stanza missing {key!r}: {spec}") from None
-
-
-def _parse_event(spec: Dict) -> DynamicEvent:
-    """Parse one dynamic stanza (Listing 2 style) into a DynamicEvent."""
-    time = parse_time(_require(spec, "time", "dynamic event"))
-    action_name = spec.get("action")
-    if action_name in ("join", "leave") and "name" in spec:
-        action = (EventAction.JOIN_NODE if action_name == "join"
-                  else EventAction.LEAVE_NODE)
-        return DynamicEvent(time=time, action=action, name=spec["name"])
-
-    origin = spec.get("orig")
-    destination = spec.get("dest")
-    if origin is None or destination is None:
-        raise TopologyError(f"link event needs orig and dest: {spec}")
-    bidirectional = bool(spec.get("bidirectional", True))
-
-    if action_name == "leave":
-        return DynamicEvent(time=time, action=EventAction.LEAVE_LINK,
-                            origin=origin, destination=destination,
-                            bidirectional=bidirectional)
-    if action_name == "join":
-        return DynamicEvent(time=time, action=EventAction.JOIN_LINK,
-                            origin=origin, destination=destination,
-                            properties=_link_properties(spec),
-                            bidirectional=bidirectional)
-
-    # No action keyword: a property change listing only the fields to alter.
-    changes: Dict[str, float] = {}
-    if "latency" in spec:
-        changes["latency"] = parse_time(spec["latency"], default_unit="ms")
-    if "jitter" in spec:
-        changes["jitter"] = parse_time(spec["jitter"], default_unit="ms")
-    if "loss" in spec:
-        changes["loss"] = float(spec["loss"])
-    if "up" in spec or "bandwidth" in spec:
-        changes["bandwidth"] = parse_rate(spec.get("up", spec.get("bandwidth")))
-    if not changes:
-        raise TopologyError(f"dynamic event changes nothing: {spec}")
-    return DynamicEvent(time=time, action=EventAction.SET_LINK,
-                        origin=origin, destination=destination,
-                        changes=changes, bidirectional=bidirectional)
-
-
-# --------------------------------------------------------------------------
-# Listing-style text parser
-# --------------------------------------------------------------------------
 
 def parse_experiment_text(text: str) -> Tuple[Topology, EventSchedule]:
     """Parse the paper's listing syntax (Listings 1 and 2).
@@ -154,105 +53,17 @@ def parse_experiment_text(text: str) -> Tuple[Topology, EventSchedule]:
     or ``action:`` (node events) key, under the current section header
     (``services:``, ``bridges:``, ``links:``, ``dynamic:``).
     """
-    sections: Dict[str, List[Dict]] = {
-        "services": [], "bridges": [], "links": [], "dynamic": []}
-    section: Optional[str] = None
-    stanza: Optional[Dict] = None
-    stanza_opener = {"services": ("name",), "bridges": ("name",),
-                     "links": ("orig",)}
+    from repro.scenario.frontends import scenario_from_text
+    compiled = scenario_from_text(text).compile()
+    return compiled.topology, compiled.schedule
 
-    for raw_line in text.splitlines():
-        line = raw_line.split("#", 1)[0].strip()
-        if not line:
-            continue
-        if line.rstrip(":") in ("experiment",):
-            continue
-        key, _, value = line.partition(":")
-        key = key.strip()
-        value = value.strip().strip('"').strip("'")
-        if not value and key in sections:
-            section = key
-            stanza = None
-            continue
-        if section is None:
-            raise TopologyError(f"content outside any section: {raw_line!r}")
-        if section == "dynamic":
-            # In Listing 2 every event stanza ends with its ``time:`` key,
-            # which is the only unambiguous boundary in the flat syntax.
-            if stanza is None:
-                stanza = {}
-                sections[section].append(stanza)
-            stanza[key] = value
-            if key == "time":
-                stanza = None
-            continue
-        opens_new = key in stanza_opener[section] and (
-            stanza is None or key in stanza)
-        if stanza is None or opens_new:
-            stanza = {}
-            sections[section].append(stanza)
-        stanza[key] = value
-
-    description = {"experiment": {
-        "services": sections["services"],
-        "bridges": sections["bridges"],
-        "links": sections["links"],
-    }, "dynamic": sections["dynamic"]}
-    return parse_experiment(description)
-
-
-# --------------------------------------------------------------------------
-# Modelnet-like XML parser
-# --------------------------------------------------------------------------
 
 def parse_modelnet_xml(text: str) -> Tuple[Topology, EventSchedule]:
     """Parse a Modelnet-style XML topology.
 
-    Supported shape::
-
-        <topology>
-          <vertices>
-            <vertex name="c1" role="virtnode" image="iperf" replicas="1"/>
-            <vertex name="s1" role="gateway"/>
-          </vertices>
-          <edges>
-            <edge src="c1" dst="s1" latency="10" bw="10Mbps" jitter="0.5"
-                  loss="0.0" bidirectional="true"/>
-          </edges>
-        </topology>
-
     ``role="virtnode"`` maps to services, everything else to bridges;
     latency/jitter default to milliseconds as in Modelnet files.
     """
-    try:
-        root = ElementTree.fromstring(text)
-    except ElementTree.ParseError as exc:
-        raise TopologyError(f"malformed XML topology: {exc}") from exc
-
-    topology = Topology(root.get("name", "modelnet"))
-    for vertex in root.iter("vertex"):
-        name = vertex.get("name")
-        if name is None:
-            raise TopologyError("vertex without a name")
-        if vertex.get("role", "gateway") == "virtnode":
-            topology.add_service(Service(
-                name=name, image=vertex.get("image", "scratch"),
-                replicas=int(vertex.get("replicas", "1"))))
-        else:
-            topology.add_bridge(Bridge(name))
-
-    for edge in root.iter("edge"):
-        spec = {
-            "latency": edge.get("latency", "0"),
-            "jitter": edge.get("jitter", "0"),
-            "loss": float(edge.get("loss", "0")),
-        }
-        bandwidth = edge.get("bw") or edge.get("bandwidth")
-        if bandwidth is not None:
-            spec["bandwidth"] = bandwidth
-        topology.add_link(
-            edge.get("src"), edge.get("dst"), _link_properties(spec),
-            bidirectional=edge.get("bidirectional", "true").lower() == "true")
-
-    topology.validate()
-    return topology, EventSchedule()
+    from repro.scenario.frontends import scenario_from_xml
+    compiled = scenario_from_xml(text).compile()
+    return compiled.topology, compiled.schedule

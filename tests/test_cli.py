@@ -130,3 +130,45 @@ class TestParserShape:
     def test_bad_flow_spec(self, description_file):
         with pytest.raises(SystemExit):
             main(["run", description_file, "--flow", "justonename"])
+
+    def test_malformed_flow_rate_errors_cleanly(self, description_file,
+                                                capsys):
+        with pytest.raises(SystemExit):
+            main(["run", description_file, "--flow", "c1:sv:5Mbxps"])
+        err = capsys.readouterr().err
+        assert "bad rate in flow spec" in err
+        assert "5Mbxps" in err
+
+
+class TestValidatePython:
+    def test_validates_example_module(self, tmp_path, capsys):
+        module = tmp_path / "scenario_module.py"
+        module.write_text(
+            "from repro.scenario import Scenario\n"
+            "SCENARIO = (Scenario.build('demo')\n"
+            "            .service('a').service('b')\n"
+            "            .link('a', 'b', latency='1ms', up='1Mbps'))\n")
+        assert main(["validate", str(module)]) == 0
+        assert "a -> b" in capsys.readouterr().out
+
+    def test_module_without_scenario_rejected(self, tmp_path):
+        module = tmp_path / "empty_module.py"
+        module.write_text("x = 1\n")
+        from repro.topology import TopologyError
+        with pytest.raises(TopologyError):
+            main(["validate", str(module)])
+
+    def test_run_preserves_module_deploy_settings(self, tmp_path, capsys):
+        """`run` must not clobber a .py scenario's machines/seed/duration
+        with argparse defaults when the flags are not given."""
+        module = tmp_path / "deployed.py"
+        module.write_text(
+            "from repro.scenario import Scenario, flow\n"
+            "SCENARIO = (Scenario.build('demo')\n"
+            "            .service('a').service('b')\n"
+            "            .link('a', 'b', latency='1ms', up='1Mbps')\n"
+            "            .workload(flow('a', 'b', key='t'))\n"
+            "            .deploy(machines=2, seed=7, duration=2.0))\n")
+        assert main(["run", str(module)]) == 0
+        out = capsys.readouterr().out
+        assert "host-1" in out   # the module's machines=2 was honoured

@@ -13,8 +13,11 @@
   depends on the application's socket buffer size (§5.1 Table 2).
 
 Every baseline exposes the same surface as the Kollaps engine where the
-benchmarks need it (bulk flows, packet sends), so harnesses swap systems by
-constructing a different class.
+benchmarks need it (bulk flows, packet sends).  Harnesses do not construct
+these classes directly any more: each baseline is wrapped by an
+:class:`~repro.scenario.backends.ExecutionBackend`, and experiments swap
+systems with ``compiled.run(backend="mininet")`` etc. through the backend
+registry in :mod:`repro.scenario.backends`.
 """
 
 from repro.baselines.baremetal import BareMetalTestbed

@@ -148,5 +148,8 @@ class MaxinetEmulator:
                          size_bits=size_bits, start_time=start_time)
         return self.fluid.add_flow(flow)
 
+    def stop_flow(self, key: Hashable) -> None:
+        self.fluid.remove_flow(key)
+
     def run(self, until: float) -> None:
         self.sim.run(until=until)

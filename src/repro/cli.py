@@ -79,6 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="run an emulation experiment")
     _add_description_argument(run)
+    run.add_argument("--backend", default="kollaps",
+                     help="execution backend (kollaps, baremetal, mininet, "
+                          "maxinet, trickle, or a registered name)")
     run.add_argument("--machines", type=int, default=None,
                      help="physical machines in the simulated cluster "
                           "(default: the scenario's own setting, else 1)")
@@ -108,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--machines", type=int, default=None,
                       help="hosts to place on (default: the scenario's "
                            "own machine count)")
+    plan.add_argument("--backend", default="kollaps",
+                      help="also check the scenario against this execution "
+                           "backend's capabilities")
 
     scenario = commands.add_parser(
         "scenario", help="compile a scenario script to primitive events")
@@ -136,6 +142,45 @@ def _command_run(args: argparse.Namespace) -> int:
                               key=f"{source}->{destination}"))
     compiled = builder.compile()
 
+    # --duration (if given) was folded into compiled.duration by deploy();
+    # otherwise fall back to the scenario's own setting, else the
+    # historical 30 s default.
+    duration = compiled.duration if compiled.duration is not None else 30.0
+
+    if args.backend != "kollaps":
+        from repro.scenario import BackendCompatibilityError, resolve_backend
+
+        try:
+            backend = resolve_backend(args.backend)
+        except ValueError as error:
+            print(f"cannot run on the {args.backend!r} backend: {error}",
+                  file=sys.stderr)
+            return 1
+        # Baseline backends have no Kollaps dashboard; report the unified
+        # per-workload metrics instead.  Only compatibility problems are
+        # caught — genuine workload failures still traceback, as with the
+        # default engine path.
+        try:
+            run = compiled.run(until=duration, backend=backend)
+        except BackendCompatibilityError as error:
+            print(f"cannot run on the {args.backend!r} backend: {error}",
+                  file=sys.stderr)
+            return 1
+        if args.snapshot_every > 0:
+            print(f"note: --snapshot-every renders the Kollaps dashboard "
+                  f"and is ignored on the {run.backend!r} backend",
+                  file=sys.stderr)
+        print(f"backend: {run.backend}, ran to t={run.until:g}s")
+        for key in sorted(run.metrics, key=str):
+            metrics = run.metrics[key]
+            if metrics.primary in metrics.summary:
+                print(f"workload {key}: {metrics.primary} = "
+                      f"{metrics.value:g}")
+            else:
+                print(f"workload {key}: collected ({metrics.kind}, "
+                      "no scalar summary)")
+        return 0
+
     engine = compiled.start()
     dashboard = Dashboard(engine)
     if args.snapshot_every > 0:
@@ -144,10 +189,6 @@ def _command_run(args: argparse.Namespace) -> int:
                 lambda: print(dashboard.render_flows(), file=sys.stderr),
                 start_after=args.snapshot_every)
 
-    # --duration (if given) was folded into compiled.duration by deploy();
-    # otherwise fall back to the scenario's own setting, else the
-    # historical 30 s default.
-    duration = compiled.duration if compiled.duration is not None else 30.0
     engine.run(until=duration)
 
     print(dashboard.render())
@@ -171,10 +212,22 @@ def _command_plan(args: argparse.Namespace) -> int:
     from repro.orchestration import render_plan
 
     compiled = Scenario.from_file(args.experiment).compile()
+    try:
+        problems = compiled.validate_backend(args.backend)
+    except ValueError as error:
+        print(f"# {error}", file=sys.stderr)
+        return 1
+    if problems:
+        print(f"# NOT deployable on the {args.backend!r} backend:",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"#   - {problem}", file=sys.stderr)
+        return 1
     machines = None if args.machines is None else \
         [f"host-{index}" for index in range(args.machines)]
     plan = compiled.plan(orchestrator=args.orchestrator, machines=machines)
     print(f"# deployment plan ({plan.orchestrator}), "
+          f"backend={args.backend}, "
           f"bootstrapper={'yes' if plan.needs_bootstrapper else 'no'}")
     for container, machine in sorted(plan.placement.items()):
         print(f"#   {container} -> {machine}")

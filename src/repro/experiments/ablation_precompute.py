@@ -15,7 +15,7 @@ from typing import Dict
 from repro.core import collapse
 from repro.core.dynamic import DynamicTopologyPlan
 from repro.experiments.base import ExperimentResult, experiment, scenario_engine
-from repro.topogen import scale_free_topology
+from repro.scenario.topologies import scale_free
 from repro.topology import DynamicEvent, EventAction, EventSchedule
 
 SIZE = 600
@@ -33,7 +33,7 @@ def build_schedule(topology) -> EventSchedule:
 
 
 def compute_results(size: int = SIZE) -> Dict[str, float]:
-    topology = scale_free_topology(size, seed=17)
+    topology = scale_free(size, seed=17).compile().topology
     schedule = build_schedule(topology)
 
     # Offline pre-computation (what Kollaps does before the run).

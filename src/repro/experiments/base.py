@@ -26,20 +26,24 @@ __all__ = ["Check", "ExperimentResult", "experiment", "registered",
            "format_table", "render_markdown"]
 
 
-def scenario_engine(source, schedule=None, *, machines: int = 1,
-                    seed: int = 0, placement=None, **tunables):
-    """A wired :class:`~repro.core.engine.EmulationEngine` via the Scenario API.
+def scenario_engine(source, schedule=None, *, backend: str = "kollaps",
+                    machines: int = 1, seed: int = 0, placement=None,
+                    backend_options=None, **tunables):
+    """A live execution system via the Scenario API and backend registry.
 
-    Every experiment runner assembles its engine through this one helper,
-    so all reproduction workloads flow through the unified
-    :mod:`repro.scenario` choke point (validation included).  ``source``
-    is a :class:`~repro.scenario.Scenario` builder (preferred — compiled
-    once) or a bare :class:`~repro.topology.model.Topology` (adopted via
-    ``Scenario.from_topology``).  ``tunables`` are
+    Every experiment runner that drives a system by hand assembles it
+    through this one helper, so all reproduction workloads flow through
+    the unified :mod:`repro.scenario` choke point (validation included)
+    *and* the :mod:`repro.scenario.backends` registry — no runner
+    constructs an engine or baseline class directly.  ``source`` is a
+    :class:`~repro.scenario.Scenario` builder (preferred — compiled once)
+    or a bare :class:`~repro.topology.model.Topology` (adopted via
+    ``Scenario.from_topology``).  ``backend`` selects the executing
+    system (default: the Kollaps engine); ``tunables`` are
     :class:`~repro.core.engine.EngineConfig` fields
     (``enforce_bandwidth_sharing``, ``congestion_sensitivity``, ...).
     """
-    from repro.scenario import Scenario
+    from repro.scenario import Scenario, resolve_backend
     if isinstance(source, Scenario):
         builder = source
         for event in (schedule or []):
@@ -48,7 +52,8 @@ def scenario_engine(source, schedule=None, *, machines: int = 1,
         builder = Scenario.from_topology(source, schedule)
     builder.deploy(machines=machines, seed=seed, placement=placement,
                    **tunables)
-    return builder.compile().engine()
+    return resolve_backend(backend, **(backend_options or {})).prepare(
+        builder.compile())
 
 
 @dataclass

@@ -6,27 +6,28 @@ and the Kollaps emulation produce near-identical throughput-latency
 curves: flat latency until the replicas saturate, then a sharp climb.
 Here the "EC2" reference is the bare-metal run of the same workload over
 the full physical topology; Kollaps is the collapsed emulation.
+
+The Cassandra cluster rides a ``custom`` workload, so the same compiled
+scenario fans across the baremetal and kollaps backends like every other
+cross-system experiment.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.apps import CassandraCluster, YcsbClient
-from repro.baselines import BareMetalTestbed
-from repro.experiments.base import ExperimentResult, experiment, scenario_engine
+from repro.experiments.base import ExperimentResult, experiment
+from repro.scenario import CompiledScenario, custom
+from repro.scenario.topologies import aws_mesh
 from repro.sim import RngRegistry
-from repro.topogen import aws_mesh_topology
 
 THREAD_SWEEP = [1, 4, 8, 16, 32]
 _DURATION = 25.0
 _REGIONS = ("frankfurt", "sydney")
 
-
-def build_topology():
-    # 4 replicas per region; 4 YCSB clients ride extra Frankfurt services.
-    return aws_mesh_topology(list(_REGIONS), services_per_region=8,
-                             service_prefix="cas")
+# Independent YCSB request streams per backend, as the paper's two
+# deployments are independent runs.
+_SEED_TAGS = {"baremetal": "e", "kollaps": "k"}
 
 
 def replica_names():
@@ -34,38 +35,55 @@ def replica_names():
             for region in _REGIONS]
 
 
-def run_point(system, threads: int, seed_tag: str,
-              duration: float = _DURATION) -> Tuple[float, float]:
-    cluster = CassandraCluster(system.sim, system.dataplane, replica_names(),
-                               replication_factor=2, write_consistency=2,
-                               read_consistency=1, service_time=2e-3)
-    clients = [YcsbClient(system.sim, system.dataplane,
-                          f"cas-frankfurt-{4 + index}", cluster,
-                          f"cas-frankfurt-{index}",
-                          threads=max(1, threads // 4), read_fraction=0.5,
-                          rng=RngRegistry(111).stream(
-                              f"ycsb:{seed_tag}:{index}"))
-               for index in range(4)]
-    system.run(until=system.sim.now + duration)
-    throughput = sum(client.stats.throughput(duration)
-                     for client in clients)
+def _install_cassandra(threads: int):
+    def install(system):
+        from repro.apps import CassandraCluster, YcsbClient
+        cluster = CassandraCluster(system.sim, system.dataplane,
+                                   replica_names(), replication_factor=2,
+                                   write_consistency=2, read_consistency=1,
+                                   service_time=2e-3)
+        tag = _SEED_TAGS.get(getattr(system, "scenario_backend", "kollaps"),
+                             "k")
+        return [YcsbClient(system.sim, system.dataplane,
+                           f"cas-frankfurt-{4 + index}", cluster,
+                           f"cas-frankfurt-{index}",
+                           threads=max(1, threads // 4), read_fraction=0.5,
+                           rng=RngRegistry(111).stream(
+                               f"ycsb:{tag}{threads}:{index}"))
+                for index in range(4)]
+    return install
+
+
+def _collect_cassandra(system, until, clients) -> Tuple[float, float]:
+    throughput = sum(client.stats.throughput(until) for client in clients)
     latencies = sorted(latency for client in clients
                        for latency in client.stats.all_latencies())
     mean_latency = (sum(latencies) / len(latencies)) if latencies else 0.0
     return throughput, mean_latency
 
 
+def scenario(threads: int, duration: float = _DURATION) -> CompiledScenario:
+    # 4 replicas per region; 4 YCSB clients ride extra Frankfurt services.
+    return (aws_mesh(list(_REGIONS), services_per_region=8,
+                     service_prefix="cas")
+            .workload(custom(f"ycsb-{threads}",
+                             _install_cassandra(threads),
+                             collect=_collect_cassandra,
+                             needs=("packet",), duration=duration))
+            .deploy(machines=4, seed=111, duration=duration,
+                    enforce_bandwidth_sharing=False)
+            .compile())
+
+
 def compute_curve(duration: float = _DURATION
                   ) -> Dict[Tuple[str, int], Tuple[float, float]]:
     curve = {}
     for threads in THREAD_SWEEP:
-        ec2 = BareMetalTestbed(build_topology(), seed=111)
-        curve[("ec2", threads)] = run_point(ec2, threads, f"e{threads}",
-                                            duration)
-        kollaps = scenario_engine(build_topology(), machines=4, seed=111,
-                                  enforce_bandwidth_sharing=False)
-        curve[("kollaps", threads)] = run_point(kollaps, threads,
-                                                f"k{threads}", duration)
+        compiled = scenario(threads, duration)
+        curve[("ec2", threads)] = \
+            compiled.run(backend="baremetal")[f"ycsb-{threads}"]
+        curve[("kollaps", threads)] = \
+            compiled.run(backend="kollaps")[f"ycsb-{threads}"]
     return curve
 
 

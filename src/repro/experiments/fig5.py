@@ -5,16 +5,21 @@ flows under Cubic and Reno, and short-lived wrk2 HTTP traffic, run on bare
 metal, Kollaps and Mininet; the deviation of measured bandwidth from the
 bare-metal baseline stays below ~10 % (long-lived) and ~2 % (short-lived),
 with Kollaps generally at least as close as Mininet.
+
+The cross-system fan-out is the Scenario API's backend contract: each
+workload is compiled *once* and executed per system via
+``compiled.run(backend=...)``; deviations come from
+:meth:`~repro.scenario.results.ScenarioRun.compare` against the
+bare-metal run.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-from repro.apps import HttpServer, Wrk2Client, run_iperf_pair
-from repro.baselines import BareMetalTestbed, MininetEmulator
-from repro.experiments.base import ExperimentResult, experiment, scenario_engine
-from repro.topogen import star_topology
+from repro.experiments.base import ExperimentResult, experiment
+from repro.scenario import CompiledScenario, ScenarioRun, http_load, iperf
+from repro.scenario.topologies import star
 
 _DURATION = 15.0
 GBPS = 1e9
@@ -23,54 +28,43 @@ WORKLOADS = ("cubic", "reno", "wrk2")
 SYSTEMS = ("baremetal", "kollaps", "mininet")
 
 
-def topology():
-    return star_topology(["server", "client1", "client2"],
-                         bandwidth=GBPS, latency=0.0005)
+def scenario(workload: str, duration: float = _DURATION) -> CompiledScenario:
+    """One compiled Figure-5 scenario, ready for any backend."""
+    builder = star(["server", "client1", "client2"],
+                   bandwidth=GBPS, latency=0.0005)
+    if workload == "wrk2":
+        builder.workload(http_load("client2", "server", connections=100,
+                                   key="wrk2"))
+    else:
+        builder.workload(iperf("client1", "server", duration=duration,
+                               congestion_control=workload, warmup=3.0,
+                               key=workload))
+    return builder.deploy(machines=3, seed=61, duration=duration).compile()
 
 
-def systems():
-    return {
-        "baremetal": BareMetalTestbed(topology(), seed=61),
-        "kollaps": scenario_engine(topology(), machines=3, seed=61),
-        "mininet": MininetEmulator(topology(), seed=61),
-    }
+def compute_runs(duration: float = _DURATION
+                 ) -> Dict[str, Dict[str, ScenarioRun]]:
+    """workload -> backend -> the run of the same compiled scenario."""
+    runs: Dict[str, Dict[str, ScenarioRun]] = {}
+    for workload in WORKLOADS:
+        compiled = scenario(workload, duration)
+        runs[workload] = {system: compiled.run(backend=system)
+                          for system in SYSTEMS}
+    return runs
 
 
-def long_lived(system, congestion_control: str,
-               duration: float = _DURATION) -> float:
-    result = run_iperf_pair(system, "client1", "server", duration=duration,
-                            congestion_control=congestion_control,
-                            warmup=3.0)
-    return result.mean_goodput
-
-
-def short_lived(system, duration: float = _DURATION) -> float:
-    server = HttpServer(system.sim, system.dataplane, "server")
-    client = Wrk2Client(system.sim, system.dataplane, "client2", server,
-                        connections=100)
-    start = system.sim.now
-    system.run(until=start + duration)
-    return client.stats.throughput(duration)
-
-
-def compute_results(duration: float = _DURATION) -> Dict:
-    results = {}
-    for congestion_control in ("cubic", "reno"):
-        for name, system in systems().items():
-            results[(congestion_control, name)] = long_lived(
-                system, congestion_control, duration)
-    for name, system in systems().items():
-        results[("wrk2", name)] = short_lived(system, duration)
-    return results
+def measured(run: ScenarioRun, workload: str) -> float:
+    """The headline bandwidth of one run (bits/s)."""
+    return run.metric(workload).value
 
 
 @experiment("fig5")
 def run(quick: bool = False) -> ExperimentResult:
-    results = compute_results(duration=6.0 if quick else _DURATION)
+    runs = compute_runs(duration=6.0 if quick else _DURATION)
 
     def deviation(workload: str, name: str) -> float:
-        baseline = results[(workload, "baremetal")]
-        return abs(1.0 - results[(workload, name)] / baseline)
+        comparison = runs[workload]["baremetal"].compare(runs[workload][name])
+        return comparison.deviation(workload)
 
     result = ExperimentResult(
         exp_id="fig5",
@@ -83,9 +77,12 @@ def run(quick: bool = False) -> ExperimentResult:
         headers=["workload", "baremetal", "kollaps", "mininet",
                  "kollaps dev", "mininet dev"],
         rows=[(workload,
-               f"{results[(workload, 'baremetal')] / 1e6:.1f} Mb/s",
-               f"{results[(workload, 'kollaps')] / 1e6:.1f} Mb/s",
-               f"{results[(workload, 'mininet')] / 1e6:.1f} Mb/s",
+               f"{measured(runs[workload]['baremetal'], workload) / 1e6:.1f}"
+               " Mb/s",
+               f"{measured(runs[workload]['kollaps'], workload) / 1e6:.1f}"
+               " Mb/s",
+               f"{measured(runs[workload]['mininet'], workload) / 1e6:.1f}"
+               " Mb/s",
                f"{deviation(workload, 'kollaps'):.2%}",
                f"{deviation(workload, 'mininet'):.2%}")
               for workload in WORKLOADS])

@@ -4,45 +4,40 @@ Paper: an HTTP server behind a 100 Mb/s link serves 1/2/4/8 concurrent
 curl clients (~64 KB per request, fresh TCP connection every time).  Bare
 metal and Kollaps scale near-linearly with client count; Mininet's
 throughput falls behind as its switches buckle under per-connection state.
+
+One compiled scenario per client count is fanned across the three
+backends via ``compiled.run(backend=...)``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.apps import CurlSwarm, HttpServer
-from repro.baselines import BareMetalTestbed, MininetEmulator
-from repro.experiments.base import ExperimentResult, experiment, scenario_engine
-from repro.topogen import star_topology
+from repro.experiments.base import ExperimentResult, experiment
+from repro.scenario import CompiledScenario, curl_swarm
+from repro.scenario.topologies import star
 
 CLIENT_COUNTS = [1, 2, 4, 8]
+SYSTEMS = ("baremetal", "kollaps", "mininet")
 _DURATION = 20.0
 
 
-def topology(clients: int):
-    return star_topology(["server"] + [f"c{i}" for i in range(clients)],
-                         bandwidth=100e6, latency=0.005)
-
-
-def run_swarm(system, clients: int, duration: float = _DURATION) -> float:
-    server = HttpServer(system.sim, system.dataplane, "server")
-    swarm = CurlSwarm(system.sim, system.dataplane,
-                      [f"c{i}" for i in range(clients)], server)
-    system.run(until=duration)
-    return swarm.stats.throughput(duration)
+def scenario(clients: int, duration: float = _DURATION) -> CompiledScenario:
+    sources = [f"c{i}" for i in range(clients)]
+    return (star(["server"] + sources, bandwidth=100e6, latency=0.005)
+            .workload(curl_swarm(sources, "server", key="curl"))
+            .deploy(machines=2, seed=71, duration=duration)
+            .compile())
 
 
 def compute_results(duration: float = _DURATION
                     ) -> Dict[Tuple[str, int], float]:
     results = {}
     for clients in CLIENT_COUNTS:
-        results[("baremetal", clients)] = run_swarm(
-            BareMetalTestbed(topology(clients), seed=71), clients, duration)
-        results[("kollaps", clients)] = run_swarm(
-            scenario_engine(topology(clients), machines=2, seed=71),
-            clients, duration)
-        results[("mininet", clients)] = run_swarm(
-            MininetEmulator(topology(clients), seed=71), clients, duration)
+        compiled = scenario(clients, duration)
+        for system in SYSTEMS:
+            run = compiled.run(backend=system)
+            results[(system, clients)] = run.metric("curl").value
     return results
 
 

@@ -5,56 +5,52 @@ client against host 1, host 3 runs the iPerf3 server.  The long-lived flow
 runs for the whole experiment; the wrk2 client is active only in the
 middle third.  Kollaps and Mininet both stay within a few percent of bare
 metal on each host's measured bandwidth, with a spike at the transitions.
+
+The whole mixed workload is one compiled scenario fanned across the three
+backends; per-phase bandwidths are read off each run's fluid series.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
-from repro.apps import HttpServer, Wrk2Client
-from repro.baselines import BareMetalTestbed, MininetEmulator
-from repro.experiments.base import ExperimentResult, experiment, scenario_engine
-from repro.topogen import star_topology
+from repro.experiments.base import ExperimentResult, experiment
+from repro.scenario import CompiledScenario, ScenarioRun, flow, http_load
+from repro.scenario.topologies import star
 
 # The experiment is 6 minutes in the paper; scaled 6x (phases of 20 s).
 _PHASE = 20.0
 GBPS = 1e9
 
 METRICS = ["long_phase1", "long_phase2", "long_phase3", "short_phase2"]
+SYSTEMS = ("baremetal", "kollaps", "mininet")
 
 
-def topology():
-    return star_topology(["host1", "host2", "host3"],
-                         bandwidth=GBPS, latency=0.0005)
+def scenario(phase: float = _PHASE) -> CompiledScenario:
+    return (star(["host1", "host2", "host3"],
+                 bandwidth=GBPS, latency=0.0005)
+            .workload(flow("host1", "host3", key="iperf"),
+                      http_load("host2", "host1", connections=100,
+                                start=phase, stop=2 * phase, key="wrk2"))
+            .deploy(machines=3, seed=81, duration=3 * phase)
+            .compile())
 
 
-def run_system(system, phase: float = _PHASE) -> Dict[str, float]:
+def phase_metrics(run: ScenarioRun, phase: float) -> Dict[str, float]:
     total = 3 * phase
-    # Long-lived flow: host1 -> host3 for the full run.
-    system.start_flow("iperf", "host1", "host3")
-    # Short-lived phase: wrk2 on host2 -> host1 during the middle third.
-    server = HttpServer(system.sim, system.dataplane, "host1")
-    client = Wrk2Client(system.sim, system.dataplane, "host2", server,
-                        connections=100, start=phase, stop=2 * phase)
-    system.run(until=total)
+    fluid = run.engine.fluid
     return {
-        "long_phase1": system.fluid.mean_throughput("iperf", 2.0, phase),
-        "long_phase2": system.fluid.mean_throughput("iperf", phase,
-                                                    2 * phase),
-        "long_phase3": system.fluid.mean_throughput("iperf", 2 * phase + 2,
-                                                    total),
-        "short_phase2": client.stats.throughput(phase),
+        "long_phase1": fluid.mean_throughput("iperf", 2.0, phase),
+        "long_phase2": fluid.mean_throughput("iperf", phase, 2 * phase),
+        "long_phase3": fluid.mean_throughput("iperf", 2 * phase + 2, total),
+        "short_phase2": run["wrk2"].throughput(phase),
     }
 
 
 def compute_results(phase: float = _PHASE) -> Dict[str, Dict[str, float]]:
-    return {
-        "baremetal": run_system(BareMetalTestbed(topology(), seed=81),
-                                phase),
-        "kollaps": run_system(
-            scenario_engine(topology(), machines=3, seed=81), phase),
-        "mininet": run_system(MininetEmulator(topology(), seed=81), phase),
-    }
+    compiled = scenario(phase)
+    return {system: phase_metrics(compiled.run(backend=system), phase)
+            for system in SYSTEMS}
 
 
 @experiment("fig7")

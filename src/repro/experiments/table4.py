@@ -14,35 +14,43 @@ further; Maxinet's controller pushes it three orders of magnitude off.
 Sizes are scaled (250/500/1000) to keep the harness fast — the error
 *sources* (container networking, physical hops, controller round trips)
 are size-independent.
+
+Each size is one compiled scenario (probe pairs as ping workloads) fanned
+across the kollaps/mininet/maxinet backends; Mininet's over-budget sizes
+fail backend validation, which is the paper's N/A.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from repro.apps import Pinger
-from repro.baselines import MaxinetEmulator, MininetEmulator
-from repro.baselines.mininet import ScaleError
-from repro.core import collapse
-from repro.experiments.base import ExperimentResult, experiment, scenario_engine
+from repro.experiments.base import ExperimentResult, experiment
+from repro.scenario import (
+    BackendCompatibilityError,
+    CompiledScenario,
+    ScenarioRun,
+    ping,
+)
+from repro.scenario.topologies import scale_free
 from repro.sim import RngRegistry
-from repro.topogen import scale_free_topology
 
 SIZES = [250, 500, 1000]
 _PAIRS = 30       # probe pairs per run
 _PINGS = 40       # pings per pair
 _MININET_BUDGET = 400  # scaled single-machine element budget
 
+BACKENDS = {
+    "kollaps": {},
+    "mininet": {"element_budget": _MININET_BUDGET},
+    "maxinet": {"workers": 4},
+}
 
-def theoretical_rtts(topology, pairs):
-    collapsed = collapse(topology)
-    return {(a, b): collapsed.rtt(a, b) for a, b in pairs}
 
-
-def pick_pairs(topology, seed: int, pair_count: int = _PAIRS):
+def pick_pairs(compiled: CompiledScenario, seed: int,
+               pair_count: int = _PAIRS):
     rng = RngRegistry(seed).stream("pairs")
-    containers = topology.container_names()
-    collapsed = collapse(topology)
+    containers = compiled.topology.container_names()
+    collapsed = compiled.collapsed()
     pairs = []
     while len(pairs) < pair_count:
         a, b = rng.sample(containers, 2)
@@ -51,21 +59,33 @@ def pick_pairs(topology, seed: int, pair_count: int = _PAIRS):
     return pairs
 
 
-def measure_mse(system, sim, plane, pairs, theory,
-                pings: int = _PINGS) -> float:
-    pingers = {}
+def scenario(size: int, pings: int = _PINGS,
+             pair_count: int = _PAIRS) -> Tuple[CompiledScenario, Dict]:
+    """The probing scenario plus the theoretical RTT per probe pair."""
+    builder = scale_free(size, seed=size)
+    bare = builder.compile()
+    pairs = pick_pairs(bare, seed=size, pair_count=pair_count)
+    collapsed = bare.collapsed()
+    theory = {(a, b): collapsed.rtt(a, b) for a, b in pairs}
     for index, (a, b) in enumerate(pairs):
-        pingers[(a, b)] = Pinger(sim, plane, a, b, count=pings,
-                                 interval=0.05).start(at=index * 0.001)
-    system.run(until=pings * 0.05 + 3.0)
+        builder.workload(ping(a, b, count=pings, interval=0.05,
+                              start=index * 0.001, key=(a, b)))
+    compiled = builder.deploy(machines=4, seed=size,
+                              enforce_bandwidth_sharing=False,
+                              duration=pings * 0.05 + 3.0).compile()
+    return compiled, theory
+
+
+def mse_of(run: ScenarioRun, theory: Dict) -> float:
     squared = []
-    for (a, b), pinger in pingers.items():
-        if not pinger.stats.rtts:
+    for (a, b), expected in theory.items():
+        stats = run[(a, b)]
+        if not stats.rtts:
             continue
         # Median: the steady-state RTT, as the paper's 10-minute runs see
         # it (flow-setup transients amortize to nothing there; our runs
         # are short enough that a mean would still carry them).
-        error_ms = (pinger.stats.median_rtt - theory[(a, b)]) * 1e3
+        error_ms = (stats.median_rtt - expected) * 1e3
         squared.append(error_ms ** 2)
     return sum(squared) / len(squared)
 
@@ -74,31 +94,18 @@ def compute_results(pings: int = _PINGS, pair_count: int = _PAIRS
                     ) -> Dict[Tuple[str, int], Optional[float]]:
     results: Dict[Tuple[str, int], Optional[float]] = {}
     for size in SIZES:
-        topology = scale_free_topology(size, seed=size)
-        pairs = pick_pairs(topology, seed=size, pair_count=pair_count)
-        theory = theoretical_rtts(topology, pairs)
-
-        engine = scenario_engine(topology, machines=4, seed=size,
-                                 enforce_bandwidth_sharing=False)
-        results[("kollaps", size)] = measure_mse(
-            engine, engine.sim, engine.dataplane, pairs, theory, pings)
-
-        try:
-            mininet = MininetEmulator(topology, seed=size,
-                                      element_budget=_MININET_BUDGET)
-            results[("mininet", size)] = measure_mse(
-                mininet, mininet.sim, mininet.dataplane, pairs, theory,
-                pings)
-        except ScaleError:
-            results[("mininet", size)] = None
-
-        if size <= SIZES[1]:  # the paper stops Maxinet at 2000 of 4000
-            maxinet = MaxinetEmulator(topology, workers=4, seed=size)
-            results[("maxinet", size)] = measure_mse(
-                maxinet, maxinet.sim, maxinet.dataplane, pairs, theory,
-                pings)
-        else:
-            results[("maxinet", size)] = None
+        compiled, theory = scenario(size, pings, pair_count)
+        for system, options in BACKENDS.items():
+            if system == "maxinet" and size > SIZES[1]:
+                # The paper stops Maxinet at 2000 of 4000 elements.
+                results[(system, size)] = None
+                continue
+            try:
+                run = compiled.run(backend=system, **options)
+            except BackendCompatibilityError:
+                results[(system, size)] = None
+                continue
+            results[(system, size)] = mse_of(run, theory)
     return results
 
 

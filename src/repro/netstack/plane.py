@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Callable, FrozenSet, Optional, Protocol
 
 from repro.netstack.packet import Packet
 
-__all__ = ["DataPlane", "DeliveryCallback"]
+__all__ = ["DataPlane", "DeliveryCallback", "PACKET_PLANE", "BULK_PLANE",
+           "probe_planes"]
+
+PACKET_PLANE = "packet"
+BULK_PLANE = "bulk"
 
 DeliveryCallback = Callable[[Packet], None]
 
@@ -30,3 +34,23 @@ class DataPlane(Protocol):
     def reachable(self, source: str, destination: str) -> bool:
         """Whether the plane currently routes source -> destination."""
         ...
+
+
+def probe_planes(system: object) -> FrozenSet[str]:
+    """Which data planes a live system actually exposes.
+
+    Structural probing, the runtime counterpart of a backend's declared
+    :class:`~repro.scenario.backends.BackendCapabilities`: a packet plane
+    is a ``dataplane`` implementing :class:`DataPlane`, a bulk plane is a
+    ``fluid`` engine plus the ``start_flow``/``stop_flow`` verbs.
+    """
+    planes = set()
+    dataplane = getattr(system, "dataplane", None)
+    if dataplane is not None and callable(getattr(dataplane, "send", None)) \
+            and callable(getattr(dataplane, "reachable", None)):
+        planes.add(PACKET_PLANE)
+    if getattr(system, "fluid", None) is not None \
+            and callable(getattr(system, "start_flow", None)) \
+            and callable(getattr(system, "stop_flow", None)):
+        planes.add(BULK_PLANE)
+    return frozenset(planes)

@@ -23,9 +23,30 @@ downstream consumes the :class:`CompiledScenario` it compiles to::
            .compile()
            .run())
 
-See ``docs/api.md`` for the full quickstart.
+Execution is backend-pluggable: the same compiled scenario fans across
+Kollaps and the paper's §5 comparator systems through
+``compiled.run(backend="kollaps" | "baremetal" | "mininet" | "maxinet" |
+"trickle")``, each run returning the unified
+:class:`~repro.scenario.results.ScenarioRun` results API
+(per-workload :class:`~repro.scenario.results.Metrics`,
+``compare()`` deltas, ``to_dict()``/``to_csv()`` export).
+
+See ``docs/api.md`` for the full quickstart and the backend guide.
 """
 
+from repro.scenario.backends import (
+    BackendCapabilities,
+    BackendCompatibilityError,
+    BareMetalBackend,
+    ExecutionBackend,
+    KollapsBackend,
+    MaxinetBackend,
+    MininetBackend,
+    TrickleBackend,
+    backend_names,
+    register_backend,
+    resolve_backend,
+)
 from repro.scenario.builder import (
     PendingEvent,
     Scenario,
@@ -35,13 +56,20 @@ from repro.scenario.builder import (
     node_leave,
     set_link,
 )
-from repro.scenario.compiled import CompiledScenario, ScenarioRun
+from repro.scenario.compiled import CompiledScenario
+from repro.scenario.results import Metrics, RunComparison, ScenarioRun
 from repro.scenario.workloads import (
+    CurlSwarmWorkload,
+    CustomWorkload,
     FlowWorkload,
+    HttpLoadWorkload,
     IperfWorkload,
     PingWorkload,
     Workload,
+    curl_swarm,
+    custom,
     flow,
+    http_load,
     iperf,
     ping,
     udp_blast,
@@ -51,6 +79,19 @@ __all__ = [
     "Scenario",
     "CompiledScenario",
     "ScenarioRun",
+    "Metrics",
+    "RunComparison",
+    "ExecutionBackend",
+    "BackendCapabilities",
+    "BackendCompatibilityError",
+    "KollapsBackend",
+    "BareMetalBackend",
+    "MininetBackend",
+    "MaxinetBackend",
+    "TrickleBackend",
+    "backend_names",
+    "register_backend",
+    "resolve_backend",
     "PendingEvent",
     "set_link",
     "link_down",
@@ -61,8 +102,14 @@ __all__ = [
     "FlowWorkload",
     "IperfWorkload",
     "PingWorkload",
+    "HttpLoadWorkload",
+    "CurlSwarmWorkload",
+    "CustomWorkload",
     "flow",
     "iperf",
     "ping",
     "udp_blast",
+    "http_load",
+    "curl_swarm",
+    "custom",
 ]

@@ -6,7 +6,9 @@ A :class:`CompiledScenario` bundles everything an experiment needs —
 :class:`~repro.core.engine.EngineConfig` — and offers the three verbs the
 toolchain is built from:
 
-* :meth:`run` — wire an engine, install the workloads, run, collect;
+* :meth:`run` — execute on any registered backend (Kollaps or a §5
+  baseline), install the workloads, run, collect one
+  :class:`~repro.scenario.results.ScenarioRun`;
 * :meth:`plan` — the Deployment Generator's orchestrator document (§4);
 * :meth:`describe` — round-trip back to the listing-style text DSL.
 """
@@ -14,8 +16,9 @@ toolchain is built from:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.scenario.results import ScenarioRun
 from repro.topology.events import DynamicEvent, EventAction, EventSchedule
 from repro.topology.model import LinkProperties, Topology
 from repro.units import format_rate, format_time
@@ -31,18 +34,6 @@ def _number(value: float) -> str:
         if text.endswith("."):
             text += "0"
     return text
-
-
-@dataclass(frozen=True)
-class ScenarioRun:
-    """Outcome of one :meth:`CompiledScenario.run`."""
-
-    engine: object                       # the EmulationEngine, fully run
-    until: float
-    results: Dict[Hashable, object]      # workload key -> collected result
-
-    def __getitem__(self, key: Hashable):
-        return self.results[key]
 
 
 @dataclass(frozen=True)
@@ -72,22 +63,45 @@ class CompiledScenario:
         """An engine with every workload installed, the run still deferred.
 
         The hook point for callers that need to attach dashboards, loggers
-        or extra simulator events before time advances; :meth:`run` is
-        ``start()`` + ``engine.run()`` + collection.
+        or extra simulator events before time advances; :meth:`run` on the
+        default backend is ``start()`` + ``engine.run()`` + collection.
         """
         engine = self.engine()
         for workload in self.workloads:
             workload.install(engine)
         return engine
 
-    def run(self, until: Optional[float] = None) -> ScenarioRun:
-        """Deploy, run the emulation, and collect every workload's result."""
-        engine = self.start()
-        horizon = until if until is not None else self.default_duration()
-        engine.run(until=horizon)
-        results = {workload.key: workload.collect(engine, horizon)
-                   for workload in self.workloads}
-        return ScenarioRun(engine=engine, until=horizon, results=results)
+    def run(self, until: Optional[float] = None, *,
+            backend: Union[str, "object"] = "kollaps",
+            **backend_options) -> ScenarioRun:
+        """Execute this scenario on a backend and collect every result.
+
+        ``backend`` is a registry name (``"kollaps"``, ``"baremetal"``,
+        ``"mininet"``, ``"maxinet"``, ``"trickle"``) or a ready
+        :class:`~repro.scenario.backends.ExecutionBackend` instance;
+        ``backend_options`` are forwarded to the registry factory (e.g.
+        ``workers=8`` for maxinet).  Scenario features the chosen backend
+        cannot execute raise one aggregated
+        :class:`~repro.scenario.backends.BackendCompatibilityError`
+        before anything runs.
+        """
+        from repro.scenario.backends import execute, resolve_backend
+        return execute(self, resolve_backend(backend, **backend_options),
+                       until)
+
+    def validate_backend(self, backend: Union[str, "object"] = "kollaps",
+                         **backend_options) -> List[str]:
+        """Every reason ``backend`` cannot run this scenario (empty = ok).
+
+        ``validate`` is optional on duck-typed backends — the required
+        lifecycle is prepare/start_workloads/advance/collect/teardown —
+        so one without it reports no problems here and is expected to
+        raise from ``prepare`` instead.
+        """
+        from repro.scenario.backends import resolve_backend
+        resolved = resolve_backend(backend, **backend_options)
+        validate = getattr(resolved, "validate", None)
+        return list(validate(self)) if callable(validate) else []
 
     def default_duration(self) -> float:
         """Explicit ``deploy(duration=...)``, else long enough for events

@@ -1,22 +1,32 @@
 """Declarative workload specs attached to a :class:`Scenario`.
 
 A workload is *what runs on the emulated network*: bulk flows, iperf
-measurements, ping probes, UDP blasts.  Specs are plain data until
-:meth:`CompiledScenario.run` installs them on a live engine; afterwards
-each spec collects its own result, so a scenario run returns application
-measurements (the paper's "what unmodified applications observe") without
-any hand-rolled engine plumbing at the call site.
+measurements, ping probes, HTTP load generators.  Specs are plain data
+until an :class:`~repro.scenario.backends.ExecutionBackend` installs them
+on a live system; afterwards each spec collects its own result and a
+backend-independent :class:`~repro.scenario.results.Metrics` record, so a
+scenario run returns application measurements (the paper's "what
+unmodified applications observe") without any hand-rolled engine plumbing
+at the call site.
+
+Each spec declares the data ``planes`` it needs (``"bulk"`` for fluid
+flows, ``"packet"`` for per-packet applications); backends check those
+declarations against their capabilities before anything runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Optional, Union
+from typing import Callable, Hashable, Optional, Sequence, Tuple, Union
 
+from repro.netstack.plane import BULK_PLANE, PACKET_PLANE
+from repro.scenario.results import Metrics, series_summary
 from repro.units import parse_rate, parse_time
 
 __all__ = ["Workload", "FlowWorkload", "IperfWorkload", "PingWorkload",
-           "flow", "iperf", "ping", "udp_blast"]
+           "HttpLoadWorkload", "CurlSwarmWorkload", "CustomWorkload",
+           "flow", "iperf", "ping", "udp_blast", "http_load", "curl_swarm",
+           "custom"]
 
 Number = Union[str, float, int]
 
@@ -31,16 +41,41 @@ def _time(value: Number) -> float:
     return parse_time(value)
 
 
+def _throughput_summary(series, mean: float) -> dict:
+    summary = {f"throughput_{name}": value
+               for name, value in series_summary(series).items()
+               if name in ("min", "max")}
+    summary["throughput_mean"] = mean
+    return summary
+
+
 class Workload:
-    """Base: ``install`` before the run, ``collect`` after it."""
+    """Base: ``install`` before the run, ``collect``/``metrics`` after it."""
 
     key: Hashable
+    kind: str = "custom"
+    #: Data planes this workload needs; backends validate against these.
+    planes: frozenset = frozenset()
 
     def install(self, engine) -> None:  # pragma: no cover - interface
         raise NotImplementedError
 
     def collect(self, engine, until: float):  # pragma: no cover - interface
         raise NotImplementedError
+
+    def metrics(self, engine, until: float, result) -> Metrics:
+        """A backend-independent record built from the collected result.
+
+        Non-numeric results (tuples, stats objects, ...) get an *empty*
+        summary rather than a fabricated 0.0, so comparisons skip them
+        instead of reporting a fake zero deviation.
+        """
+        try:
+            summary = {"value": float(result)}
+        except (TypeError, ValueError):
+            summary = {}
+        return Metrics(key=self.key, kind=self.kind,
+                       summary=summary, primary="value")
 
     def horizon(self) -> float:
         """Latest time this workload needs the run to reach (0 = open)."""
@@ -60,6 +95,9 @@ class FlowWorkload(Workload):
     stop: Optional[float] = None
     key: Hashable = None
 
+    kind = "flow"
+    planes = frozenset({BULK_PLANE})
+
     def __post_init__(self) -> None:
         if self.key is None:
             object.__setattr__(self, "key",
@@ -78,6 +116,12 @@ class FlowWorkload(Workload):
         end = until if self.stop is None else min(self.stop, until)
         return engine.fluid.mean_throughput(self.key, self.start, end)
 
+    def metrics(self, engine, until: float, result) -> Metrics:
+        series = tuple(engine.fluid.series(self.key))
+        return Metrics(key=self.key, kind=self.kind, throughput=series,
+                       summary=_throughput_summary(series, float(result)),
+                       primary="throughput_mean")
+
     def horizon(self) -> float:
         return self.stop if self.stop is not None else 0.0
 
@@ -95,6 +139,9 @@ class IperfWorkload(Workload):
     warmup: float = 2.0
     start: float = 0.0
     key: Hashable = None
+
+    kind = "iperf"
+    planes = frozenset({BULK_PLANE})
 
     def __post_init__(self) -> None:
         if self.key is None:
@@ -119,6 +166,13 @@ class IperfWorkload(Workload):
                            mean_wire_rate=wire, duration=self.duration,
                            series=series)
 
+    def metrics(self, engine, until: float, result) -> Metrics:
+        summary = _throughput_summary(result.series, result.mean_goodput)
+        summary["wire_rate_mean"] = result.mean_wire_rate
+        return Metrics(key=self.key, kind=self.kind,
+                       throughput=tuple(result.series), summary=summary,
+                       primary="throughput_mean")
+
     def horizon(self) -> float:
         return self.start + self.duration
 
@@ -133,6 +187,9 @@ class PingWorkload(Workload):
     interval: float = 0.010
     start: float = 0.0
     key: Hashable = None
+
+    kind = "ping"
+    planes = frozenset({PACKET_PLANE})
 
     def __post_init__(self) -> None:
         if self.key is None:
@@ -155,8 +212,147 @@ class PingWorkload(Workload):
     def collect(self, engine, until: float):
         return engine._scenario_pingers[self.key].stats
 
+    def metrics(self, engine, until: float, result) -> Metrics:
+        if getattr(result, "times", None):
+            series = tuple(zip(result.times, result.rtts))
+        else:
+            # Stats without send stamps: space samples by the probe
+            # interval (exact only when nothing was lost).
+            series = tuple((self.start + index * self.interval, rtt)
+                           for index, rtt in enumerate(result.rtts))
+        summary = {f"latency_{name}": value
+                   for name, value in series_summary(series).items()
+                   if name in ("min", "max")}
+        summary.update({"latency_mean": result.mean_rtt,
+                        "latency_median": result.median_rtt,
+                        "jitter": result.jitter,
+                        "loss_rate": result.loss_rate})
+        return Metrics(key=self.key, kind=self.kind, latency=series,
+                       drops=result.lost, summary=summary,
+                       primary="latency_mean")
+
     def horizon(self) -> float:
         return self.start + self.count * self.interval + 1.0
+
+
+@dataclass(frozen=True)
+class HttpLoadWorkload(Workload):
+    """A wrk2-style closed-loop HTTP client against an embedded server.
+
+    Installs an :class:`~repro.apps.http.HttpServer` on ``server`` and a
+    :class:`~repro.apps.http.Wrk2Client` on ``source``; the result is the
+    client's :class:`~repro.apps.http.HttpStats` (short-lived-flow
+    throughput, the Figure 5/7 workload).
+    """
+
+    source: str
+    server: str
+    connections: int = 100
+    start: float = 0.0
+    stop: Optional[float] = None
+    key: Hashable = None
+
+    kind = "http"
+    planes = frozenset({PACKET_PLANE})
+
+    def __post_init__(self) -> None:
+        if self.key is None:
+            object.__setattr__(
+                self, "key", f"http:{self.source}->{self.server}")
+
+    def install(self, engine) -> None:
+        from repro.apps import HttpServer, Wrk2Client
+        server = HttpServer(engine.sim, engine.dataplane, self.server)
+        client = Wrk2Client(engine.sim, engine.dataplane, self.source,
+                            server, connections=self.connections,
+                            start=self.start,
+                            stop=(self.stop if self.stop is not None
+                                  else float("inf")))
+        engine.__dict__.setdefault("_scenario_http", {})[self.key] = client
+
+    def collect(self, engine, until: float):
+        return engine._scenario_http[self.key].stats
+
+    def _window(self, until: float) -> float:
+        end = until if self.stop is None else min(self.stop, until)
+        return max(end - self.start, 1e-9)
+
+    def metrics(self, engine, until: float, result) -> Metrics:
+        mean = result.throughput(self._window(until))
+        return Metrics(key=self.key, kind=self.kind,
+                       summary={"throughput_mean": mean,
+                                "requests": float(result.completed)},
+                       primary="throughput_mean")
+
+    def horizon(self) -> float:
+        return self.stop if self.stop is not None else 0.0
+
+
+@dataclass(frozen=True)
+class CurlSwarmWorkload(Workload):
+    """Connection-per-request curl clients (the Figure 6 workload)."""
+
+    sources: Tuple[str, ...]
+    server: str
+    key: Hashable = None
+
+    kind = "curl"
+    planes = frozenset({PACKET_PLANE})
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sources", tuple(self.sources))
+        if self.key is None:
+            object.__setattr__(self, "key", f"curl:{self.server}")
+
+    def install(self, engine) -> None:
+        from repro.apps import CurlSwarm, HttpServer
+        server = HttpServer(engine.sim, engine.dataplane, self.server)
+        swarm = CurlSwarm(engine.sim, engine.dataplane, list(self.sources),
+                          server)
+        engine.__dict__.setdefault("_scenario_curl", {})[self.key] = swarm
+
+    def collect(self, engine, until: float):
+        return engine._scenario_curl[self.key].stats
+
+    def metrics(self, engine, until: float, result) -> Metrics:
+        mean = result.throughput(max(until, 1e-9))
+        return Metrics(key=self.key, kind=self.kind,
+                       summary={"throughput_mean": mean,
+                                "requests": float(result.completed)},
+                       primary="throughput_mean")
+
+
+@dataclass(frozen=True)
+class CustomWorkload(Workload):
+    """An arbitrary application driven by caller-supplied callables.
+
+    ``install_fn(system)`` may return state; ``collect_fn(system, until,
+    state)`` turns it into the result.  The escape hatch for workloads the
+    declarative vocabulary doesn't cover (e.g. the Figure 10 Cassandra
+    cluster) while still flowing through the one backend lifecycle.
+    """
+
+    key: Hashable
+    install_fn: Callable = None
+    collect_fn: Callable = None
+    needs: Tuple[str, ...] = (PACKET_PLANE,)
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "planes", frozenset(self.needs))
+
+    def install(self, engine) -> None:
+        state = self.install_fn(engine) if self.install_fn else None
+        engine.__dict__.setdefault("_scenario_custom", {})[self.key] = state
+
+    def collect(self, engine, until: float):
+        state = engine._scenario_custom[self.key]
+        if self.collect_fn is None:
+            return state
+        return self.collect_fn(engine, until, state)
+
+    def horizon(self) -> float:
+        return self.duration
 
 
 def flow(source: str, destination: str, *, rate: Optional[Number] = None,
@@ -197,3 +393,28 @@ def udp_blast(source: str, destination: str, rate: Number, *,
     return FlowWorkload(source, destination, demand=_rate(rate),
                         protocol="udp", start=_time(start),
                         stop=None if stop is None else _time(stop), key=key)
+
+
+def http_load(source: str, server: str, *, connections: int = 100,
+              start: Number = 0.0, stop: Optional[Number] = None,
+              key: Hashable = None) -> HttpLoadWorkload:
+    """A wrk2-style HTTP load phase (short-lived flows, Figures 5/7)."""
+    return HttpLoadWorkload(source, server, connections=int(connections),
+                            start=_time(start),
+                            stop=None if stop is None else _time(stop),
+                            key=key)
+
+
+def curl_swarm(sources: Sequence[str], server: str, *,
+               key: Hashable = None) -> CurlSwarmWorkload:
+    """Connection-per-request curl clients against one server (Figure 6)."""
+    return CurlSwarmWorkload(tuple(sources), server, key=key)
+
+
+def custom(key: Hashable, install: Callable = None, *,
+           collect: Callable = None, needs: Sequence[str] = (PACKET_PLANE,),
+           duration: Number = 0.0) -> CustomWorkload:
+    """An arbitrary workload: ``install(system) -> state`` then
+    ``collect(system, until, state) -> result``."""
+    return CustomWorkload(key=key, install_fn=install, collect_fn=collect,
+                          needs=tuple(needs), duration=_time(duration))

@@ -1,0 +1,25 @@
+"""Shared deprecation plumbing for the PR-1 legacy shims.
+
+Used by the ``repro.topogen.*_topology`` wrappers and the
+``repro.topology.parse_*`` functions alike, so the warning format (and
+its ``stacklevel``) lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_shim"]
+
+
+def warn_shim(old: str, new: str, *,
+              module: str = "repro.scenario.topologies",
+              stacklevel: int = 3) -> None:
+    """Emit the one-line DeprecationWarning every legacy shim carries.
+
+    ``stacklevel`` counts from this frame to the legacy caller: 3 when
+    the shim calls here directly, one more per intermediate helper.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} from the unified Scenario API "
+        f"({module})", DeprecationWarning, stacklevel=stacklevel)

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.scenario import topologies as _topologies
+from repro.topogen._deprecation import warn_shim
 from repro.scenario.topologies import (  # noqa: F401  (re-exported data)
     AWS_REGION_LATENCY_FROM_US_EAST_1,
     INTER_REGION_RTT_MS,
@@ -35,6 +36,7 @@ def aws_star_topology(*, bandwidth: float = 1e9,
                       source: str = "us-east-1",
                       symmetric_jitter: bool = False) -> Topology:
     """One probe service per Table 3 destination, all reached from ``source``."""
+    warn_shim("repro.topogen.aws_star_topology", "aws_star()")
     return _topologies.aws_star(
         bandwidth=bandwidth, source=source,
         symmetric_jitter=symmetric_jitter).compile().topology
@@ -46,6 +48,7 @@ def aws_mesh_topology(regions: Sequence[str], services_per_region: int = 1, *,
                       rtt_override: Optional[Dict[Tuple[str, str], float]] = None,
                       rtt_scale: float = 1.0) -> Topology:
     """A geo-distributed deployment: one bridge per region, full mesh between."""
+    warn_shim("repro.topogen.aws_mesh_topology", "aws_mesh()")
     return _topologies.aws_mesh(
         regions, services_per_region, bandwidth=bandwidth,
         jitter_ms=jitter_ms, service_prefix=service_prefix,

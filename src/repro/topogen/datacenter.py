@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.scenario import topologies as _topologies
+from repro.topogen._deprecation import warn_shim
 from repro.topology import Topology
 
 __all__ = ["fat_tree_topology", "jellyfish_topology"]
@@ -24,6 +25,7 @@ def fat_tree_topology(k: int, *, bandwidth: float = 10e9,
                       latency: float = 25e-6,
                       hosts_per_edge: Optional[int] = None) -> Topology:
     """A k-ary fat-tree with hosts attached to the edge layer."""
+    warn_shim("repro.topogen.fat_tree_topology", "fat_tree()")
     return _topologies.fat_tree(
         k, bandwidth=bandwidth, latency=latency,
         hosts_per_edge=hosts_per_edge).compile().topology
@@ -33,6 +35,7 @@ def jellyfish_topology(switches: int, degree: int, hosts_per_switch: int = 1,
                        *, bandwidth: float = 10e9, latency: float = 25e-6,
                        seed: int = 0) -> Topology:
     """A jellyfish: random ``degree``-regular switch graph, hosts attached."""
+    warn_shim("repro.topogen.jellyfish_topology", "jellyfish()")
     return _topologies.jellyfish(
         switches, degree, hosts_per_switch, bandwidth=bandwidth,
         latency=latency, seed=seed).compile().topology

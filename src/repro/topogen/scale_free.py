@@ -9,6 +9,7 @@ deterministic for a given seed.
 from __future__ import annotations
 
 from repro.scenario import topologies as _topologies
+from repro.topogen._deprecation import warn_shim
 from repro.topology import Topology
 
 __all__ = ["scale_free_topology"]
@@ -26,6 +27,7 @@ def scale_free_topology(total_nodes: int, *, seed: int = 0,
     ``total_nodes`` counts services plus bridges, matching the paper's
     "topology size" column in Table 4 (1000 → 666 end-nodes + 334 switches).
     """
+    warn_shim("repro.topogen.scale_free_topology", "scale_free()")
     return _topologies.scale_free(
         total_nodes, seed=seed, switch_fraction=switch_fraction,
         attachment_edges=attachment_edges,

@@ -15,6 +15,7 @@ the analytic share schedule of ``benchmarks/test_fig8_throttling.py``.
 from __future__ import annotations
 
 from repro.scenario import topologies as _topologies
+from repro.topogen._deprecation import warn_shim
 from repro.scenario.topologies import CLIENT_ACCESS_PROFILE  # noqa: F401
 from repro.topology import Topology
 
@@ -22,4 +23,5 @@ __all__ = ["throttling_topology", "CLIENT_ACCESS_PROFILE"]
 
 
 def throttling_topology() -> Topology:
+    warn_shim("repro.topogen.throttling_topology", "throttling()")
     return _topologies.throttling().compile().topology

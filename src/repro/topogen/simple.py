@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.scenario import topologies as _topologies
+from repro.topogen._deprecation import warn_shim
 from repro.topology import Topology
 
 __all__ = ["point_to_point_topology", "dumbbell_topology", "star_topology",
@@ -22,6 +23,7 @@ def point_to_point_topology(bandwidth: float, latency: float = 0.001, *,
                             client: str = "client",
                             server: str = "server") -> Topology:
     """Two services joined by a single switch (the Table 2 / §5.1 shape)."""
+    warn_shim("repro.topogen.point_to_point_topology", "point_to_point()")
     return _topologies.point_to_point(
         bandwidth, latency, jitter=jitter, loss=loss, client=client,
         server=server).compile().topology
@@ -32,6 +34,7 @@ def dumbbell_topology(pairs: int, *, access_bandwidth: float = 1e9,
                       access_latency: float = 0.001,
                       shared_latency: float = 0.010) -> Topology:
     """``pairs`` client/server pairs sharing one bottleneck link (§5.2)."""
+    warn_shim("repro.topogen.dumbbell_topology", "dumbbell()")
     return _topologies.dumbbell(
         pairs, access_bandwidth=access_bandwidth,
         shared_bandwidth=shared_bandwidth, access_latency=access_latency,
@@ -41,6 +44,7 @@ def dumbbell_topology(pairs: int, *, access_bandwidth: float = 1e9,
 def star_topology(leaves: Sequence[str], *, bandwidth: float = 1e9,
                   latency: float = 0.001, hub: str = "hub") -> Topology:
     """All ``leaves`` hang off one central bridge."""
+    warn_shim("repro.topogen.star_topology", "star()")
     return _topologies.star(leaves, bandwidth=bandwidth, latency=latency,
                             hub=hub).compile().topology
 
@@ -48,5 +52,6 @@ def star_topology(leaves: Sequence[str], *, bandwidth: float = 1e9,
 def tree_topology(depth: int, fanout: int, *, bandwidth: float = 1e9,
                   latency: float = 0.001) -> Topology:
     """A complete switch tree with services at the leaves."""
+    warn_shim("repro.topogen.tree_topology", "tree()")
     return _topologies.tree(depth, fanout, bandwidth=bandwidth,
                             latency=latency).compile().topology

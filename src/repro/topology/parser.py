@@ -28,6 +28,14 @@ from repro.topology.model import Topology
 __all__ = ["parse_experiment", "parse_experiment_text", "parse_modelnet_xml"]
 
 
+def _warn_shim(old: str, new: str) -> None:
+    # Lazy import: repro.topogen pulls in repro.scenario, which this
+    # module must not load at import time.
+    from repro.topogen._deprecation import warn_shim
+    warn_shim(f"repro.topology.{old}", f"repro.scenario.{new}",
+              module="repro.scenario", stacklevel=4)
+
+
 def parse_experiment(description: Dict) -> Tuple[Topology, EventSchedule]:
     """Parse the dict form into a topology plus its dynamic schedule.
 
@@ -40,6 +48,7 @@ def parse_experiment(description: Dict) -> Tuple[Topology, EventSchedule]:
         },
          "dynamic": [{"time": ..., "action"/properties...}, ...]}
     """
+    _warn_shim("parse_experiment", "Scenario.from_dict")
     from repro.scenario.frontends import scenario_from_dict
     compiled = scenario_from_dict(description).compile()
     return compiled.topology, compiled.schedule
@@ -53,6 +62,7 @@ def parse_experiment_text(text: str) -> Tuple[Topology, EventSchedule]:
     or ``action:`` (node events) key, under the current section header
     (``services:``, ``bridges:``, ``links:``, ``dynamic:``).
     """
+    _warn_shim("parse_experiment_text", "Scenario.from_text")
     from repro.scenario.frontends import scenario_from_text
     compiled = scenario_from_text(text).compile()
     return compiled.topology, compiled.schedule
@@ -64,6 +74,7 @@ def parse_modelnet_xml(text: str) -> Tuple[Topology, EventSchedule]:
     ``role="virtnode"`` maps to services, everything else to bridges;
     latency/jitter default to milliseconds as in Modelnet files.
     """
+    _warn_shim("parse_modelnet_xml", "Scenario.from_xml")
     from repro.scenario.frontends import scenario_from_xml
     compiled = scenario_from_xml(text).compile()
     return compiled.topology, compiled.schedule

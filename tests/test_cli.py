@@ -84,6 +84,37 @@ class TestRun:
                      "--scenario", scenario_file]) == 0
         capsys.readouterr()
 
+    def test_run_on_baseline_backend_reports_metrics(self, description_file,
+                                                     capsys):
+        assert main(["run", description_file, "--duration", "5",
+                     "--backend", "baremetal", "--flow", "c1:sv"]) == 0
+        out = capsys.readouterr().out
+        assert "backend: baremetal" in out
+        assert "workload c1->sv" in out
+
+    def test_run_incompatible_backend_fails_cleanly(self, tmp_path, capsys):
+        # Trickle has no packet plane; the ping workload must surface as
+        # one clean message, not a traceback.
+        module = tmp_path / "pinger.py"
+        module.write_text(
+            "from repro.scenario import Scenario, ping\n"
+            "SCENARIO = (Scenario.build('demo')\n"
+            "            .service('a').service('b')\n"
+            "            .link('a', 'b', latency='1ms', up='1Mbps')\n"
+            "            .workload(ping('a', 'b', count=5))\n"
+            "            .deploy(seed=7, duration=2.0))\n")
+        assert main(["run", str(module), "--backend", "trickle"]) == 1
+        err = capsys.readouterr().err
+        assert "cannot run on the 'trickle' backend" in err
+        assert "packet plane" in err
+
+    def test_run_unknown_backend_fails_cleanly(self, description_file,
+                                               capsys):
+        assert main(["run", description_file, "--duration", "5",
+                     "--backend", "ns3"]) == 1
+        err = capsys.readouterr().err
+        assert "ns3" in err and "kollaps" in err
+
 
 class TestPlan:
     def test_swarm_plan(self, description_file, capsys):

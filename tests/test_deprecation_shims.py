@@ -1,0 +1,161 @@
+"""The PR-1 deprecation shims: they must warn AND stay byte-identical.
+
+``repro.topology.parse_*`` and ``repro.topogen.*_topology`` are thin
+wrappers over the unified Scenario API; each must emit a
+``DeprecationWarning`` naming its replacement while returning output
+identical to the front-end it wraps.
+"""
+
+import warnings
+
+import pytest
+
+from repro.scenario import Scenario
+from repro.scenario import topologies as scenario_topologies
+
+TEXT = """
+experiment:
+  services:
+    name: c1
+    image: "iperf"
+    name: sv
+    image: "nginx"
+    replicas: 2
+  bridges:
+    name: s1
+  links:
+    orig: c1
+    dest: s1
+    latency: 10
+    up: 10Mbps
+    down: 10Mbps
+    orig: sv
+    dest: s1
+    latency: 5
+    up: 50Mbps
+    down: 50Mbps
+"""
+
+XML = """
+<topology name="demo">
+  <vertices>
+    <vertex name="c1" role="virtnode" image="iperf"/>
+    <vertex name="sv" role="virtnode" image="nginx" replicas="2"/>
+    <vertex name="s1" role="gateway"/>
+  </vertices>
+  <edges>
+    <edge src="c1" dst="s1" latency="10" bw="10Mbps"/>
+    <edge src="sv" dst="s1" latency="5" bw="50Mbps"/>
+  </edges>
+</topology>
+"""
+
+
+def path_table(topology):
+    return Scenario.from_topology(topology).compile().path_table()
+
+
+def assert_warns_deprecation(callable_, match: str):
+    with pytest.warns(DeprecationWarning, match=match):
+        return callable_()
+
+
+class TestParserShims:
+    def test_parse_experiment_text_warns_and_matches(self):
+        from repro.topology import parse_experiment_text
+        topology, schedule = assert_warns_deprecation(
+            lambda: parse_experiment_text(TEXT), "Scenario.from_text")
+        compiled = Scenario.from_text(TEXT).compile()
+        assert path_table(topology) == compiled.path_table()
+        assert len(schedule) == len(compiled.schedule)
+
+    def test_parse_experiment_dict_warns_and_matches(self):
+        from repro.topology import parse_experiment
+        description = {"experiment": {
+            "services": [{"name": "a", "image": "x"},
+                         {"name": "b", "image": "x"}],
+            "links": [{"orig": "a", "dest": "b", "latency": 0.01,
+                       "up": "10Mbps", "down": "10Mbps"}]}}
+        topology, _schedule = assert_warns_deprecation(
+            lambda: parse_experiment(description), "Scenario.from_dict")
+        compiled = Scenario.from_dict(description).compile()
+        assert path_table(topology) == compiled.path_table()
+
+    def test_parse_modelnet_xml_warns_and_matches(self):
+        from repro.topology import parse_modelnet_xml
+        topology, _schedule = assert_warns_deprecation(
+            lambda: parse_modelnet_xml(XML), "Scenario.from_xml")
+        compiled = Scenario.from_xml(XML).compile()
+        assert path_table(topology) == compiled.path_table()
+
+
+# (shim callable, scenario-front-end callable, replacement named in warning)
+TOPOGEN_CASES = {
+    "point_to_point_topology": (
+        lambda m: m.point_to_point_topology(10e6, latency=0.002),
+        lambda: scenario_topologies.point_to_point(10e6, latency=0.002),
+        "point_to_point"),
+    "dumbbell_topology": (
+        lambda m: m.dumbbell_topology(3),
+        lambda: scenario_topologies.dumbbell(3),
+        "dumbbell"),
+    "star_topology": (
+        lambda m: m.star_topology(["a", "b", "c"]),
+        lambda: scenario_topologies.star(["a", "b", "c"]),
+        "star"),
+    "tree_topology": (
+        lambda m: m.tree_topology(2, 2),
+        lambda: scenario_topologies.tree(2, 2),
+        "tree"),
+    "scale_free_topology": (
+        lambda m: m.scale_free_topology(40, seed=5),
+        lambda: scenario_topologies.scale_free(40, seed=5),
+        "scale_free"),
+    "aws_star_topology": (
+        lambda m: m.aws_star_topology(),
+        lambda: scenario_topologies.aws_star(),
+        "aws_star"),
+    "aws_mesh_topology": (
+        lambda m: m.aws_mesh_topology(["frankfurt", "sydney"], 2),
+        lambda: scenario_topologies.aws_mesh(["frankfurt", "sydney"], 2),
+        "aws_mesh"),
+    "throttling_topology": (
+        lambda m: m.throttling_topology(),
+        lambda: scenario_topologies.throttling(),
+        "throttling"),
+    "fat_tree_topology": (
+        lambda m: m.fat_tree_topology(2),
+        lambda: scenario_topologies.fat_tree(2),
+        "fat_tree"),
+    "jellyfish_topology": (
+        lambda m: m.jellyfish_topology(6, 3, seed=2),
+        lambda: scenario_topologies.jellyfish(6, 3, seed=2),
+        "jellyfish"),
+}
+
+
+class TestTopogenShims:
+    @pytest.mark.parametrize("name", sorted(TOPOGEN_CASES))
+    def test_shim_warns_and_names_replacement(self, name):
+        import repro.topogen as topogen
+        shim, _front_end, replacement = TOPOGEN_CASES[name]
+        with pytest.warns(DeprecationWarning) as record:
+            shim(topogen)
+        messages = [str(w.message) for w in record]
+        assert any(name in message and f"{replacement}()" in message
+                   for message in messages), messages
+
+    @pytest.mark.parametrize("name", sorted(TOPOGEN_CASES))
+    def test_shim_output_identical_to_scenario_front_end(self, name):
+        import repro.topogen as topogen
+        shim, front_end, _replacement = TOPOGEN_CASES[name]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = shim(topogen)
+        assert path_table(legacy) == front_end().compile().path_table()
+
+    def test_scenario_front_ends_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            scenario_topologies.star(["a", "b"]).compile()
+            Scenario.from_text(TEXT).compile()

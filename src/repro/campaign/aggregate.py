@@ -1,0 +1,198 @@
+"""Aggregation over campaign results: group-by, stats, cross-backend deltas.
+
+Built on the unified results API
+(:class:`~repro.scenario.results.ScenarioRun` /
+:class:`~repro.scenario.results.Metrics`): every row is one workload's
+headline statistic at one grid point, so the same aggregate works whether
+the runs are live (serial, in-process) or reconstructed from a
+:class:`~repro.campaign.store.ResultStore` / worker process.  Output is
+deterministic — rows follow the grid's shard order and floats render with
+``repr`` — so a parallel sweep and a serial sweep of the same campaign
+produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.executor import PointResult
+
+__all__ = ["Aggregate"]
+
+
+def _cell(value) -> str:
+    """Deterministic text for one cell (repr for floats: round-trippable)."""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+class Aggregate:
+    """Query surface over a set of :class:`PointResult`\\ s."""
+
+    def __init__(self, results: Sequence[PointResult]) -> None:
+        self.results: List[PointResult] = sorted(
+            results, key=lambda result: result.point.index)
+        names: List[str] = []
+        for result in self.results:
+            for name, _value in result.point.params:
+                if name not in names:
+                    names.append(name)
+        #: Grid parameter names, in first-seen (declaration) order.
+        self.param_names: Tuple[str, ...] = tuple(names)
+
+    # ------------------------------------------------------------------ rows
+    def rows(self) -> List[Dict[str, object]]:
+        """One row per workload per successful point: params + headline.
+
+        Workloads without a headline statistic (custom specs returning
+        non-numeric data) are skipped, matching
+        :meth:`ScenarioRun.compare` semantics.
+        """
+        out: List[Dict[str, object]] = []
+        for result in self.results:
+            if not result.ok or result.run is None:
+                continue
+            point = result.point
+            base = {name: value for name, value in point.params}
+            for key in sorted(result.run.metrics, key=str):
+                metrics = result.run.metrics[key]
+                if metrics.primary not in metrics.summary:
+                    continue
+                row = dict(base)
+                row.update({"seed": point.seed, "backend": point.label,
+                            "workload": str(key), "metric": metrics.primary,
+                            "value": metrics.value})
+                out.append(row)
+        return out
+
+    def failures(self) -> List[Dict[str, object]]:
+        """Errored/incompatible points, with their captured message."""
+        out = []
+        for result in self.results:
+            if result.ok:
+                continue
+            point = result.point
+            row = {name: value for name, value in point.params}
+            row.update({"seed": point.seed, "backend": point.label,
+                        "status": result.status,
+                        "error": result.error.splitlines()[0]
+                        if result.error else ""})
+            out.append(row)
+        return out
+
+    # -------------------------------------------------------------- group-by
+    def group(self, *names: str) -> Dict[Tuple, List[Dict[str, object]]]:
+        """Rows bucketed by the given point attributes/parameters.
+
+        ``names`` may be grid parameter names or the built-ins ``seed``,
+        ``backend`` and ``workload``; insertion order follows the shard
+        order, so iteration is deterministic.
+        """
+        valid = set(self.param_names) | {"seed", "backend", "workload"}
+        unknown = sorted(set(names) - valid)
+        if unknown:
+            raise KeyError(
+                f"unknown group-by column(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(valid))}")
+        groups: Dict[Tuple, List[Dict[str, object]]] = {}
+        for row in self.rows():
+            key = tuple(row[name] for name in names)
+            groups.setdefault(key, []).append(row)
+        return groups
+
+    # --------------------------------------------------------------- summary
+    def summary(self, by: Sequence[str] = ("backend",)
+                ) -> List[Dict[str, object]]:
+        """Mean/min/max/count of the headline value per group × workload."""
+        columns = tuple(by) + ("workload", "metric")
+        out: List[Dict[str, object]] = []
+        for key, rows in self.group(*columns[:-1]).items():
+            values = [row["value"] for row in rows]
+            record = dict(zip(columns[:-1], key))
+            record["metric"] = rows[0]["metric"]
+            record.update({"mean": sum(values) / len(values),
+                           "min": min(values), "max": max(values),
+                           "count": len(values)})
+            out.append(record)
+        return out
+
+    # --------------------------------------------------------------- compare
+    def compare(self, baseline: str) -> List[Dict[str, object]]:
+        """Per-point deviation of every backend from ``baseline``.
+
+        For each (params, seed) cell the baseline run is compared — via
+        :meth:`ScenarioRun.compare` — against every other backend's run of
+        the same cell; missing baselines or counterparts simply produce no
+        row (the sweep's N/A cells).  Runs are canonicalised through their
+        serialized form first, so a sweep that mixes live points with
+        store/pool-reconstructed ones (whose workload keys are
+        stringified) still matches every workload.
+        """
+        from repro.scenario.results import ScenarioRun
+        cells: Dict[Tuple, Dict[str, "ScenarioRun"]] = {}
+        for result in self.results:
+            if not result.ok or result.run is None:
+                continue
+            key = (result.point.params, result.point.seed)
+            cells.setdefault(key, {})[result.point.label] = \
+                ScenarioRun.from_dict(result.run.to_dict())
+        out: List[Dict[str, object]] = []
+        for (params, seed), per_backend in cells.items():
+            base = per_backend.get(baseline)
+            if base is None:
+                continue
+            for label, other in per_backend.items():
+                if label == baseline:
+                    continue
+                comparison = base.compare(other)
+                for delta in comparison:
+                    row = {name: value for name, value in params}
+                    row.update({"seed": seed, "backend": label,
+                                "workload": str(delta.key),
+                                "metric": delta.metric,
+                                "baseline": delta.baseline,
+                                "value": delta.other,
+                                "relative": delta.relative,
+                                "deviation": delta.deviation})
+                    out.append(row)
+        return out
+
+    # ---------------------------------------------------------------- export
+    def _columns(self, rows: List[Dict[str, object]]) -> List[str]:
+        columns = [name for name in self.param_names
+                   if any(name in row for row in rows)]
+        for row in rows:
+            for name in row:
+                if name not in columns:
+                    columns.append(name)
+        return columns
+
+    def to_csv(self, rows: Optional[List[Dict[str, object]]] = None) -> str:
+        """Deterministic CSV of ``rows`` (default: :meth:`rows`)."""
+        rows = self.rows() if rows is None else rows
+        if not rows:
+            return ""
+        columns = self._columns(rows)
+        out = io.StringIO()
+        out.write(",".join(columns) + "\n")
+        for row in rows:
+            out.write(",".join(
+                _cell(row.get(name, "")).replace(",", ";")
+                for name in columns) + "\n")
+        return out.getvalue()
+
+    def to_markdown(self, rows: Optional[List[Dict[str, object]]] = None
+                    ) -> str:
+        """Deterministic GitHub-style table of ``rows`` (default: summary)."""
+        rows = self.summary() if rows is None else rows
+        if not rows:
+            return "(no results)"
+        columns = self._columns(rows)
+        lines = ["| " + " | ".join(columns) + " |",
+                 "|" + "|".join("---" for _name in columns) + "|"]
+        for row in rows:
+            lines.append("| " + " | ".join(
+                _cell(row.get(name, "")) for name in columns) + " |")
+        return "\n".join(lines)

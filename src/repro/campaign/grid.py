@@ -1,0 +1,153 @@
+"""Deterministic grid expansion: one campaign, many :class:`Point`\\ s.
+
+A campaign's parameter grid — scenario parameters × seeds × backends —
+expands to a flat, deterministically ordered list of points.  Each point
+is content-addressed: :meth:`Point.digest` hashes the parameters, seed,
+backend and backend options (never the expansion index), so the same
+experimental condition always lands on the same key however the grid is
+declared, and a :class:`~repro.campaign.store.ResultStore` can recognise
+completed work across interrupted runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Point", "BackendEntry", "expand_grid", "CampaignError"]
+
+Items = Tuple[Tuple[str, object], ...]
+
+
+class CampaignError(ValueError):
+    """A campaign definition (or its execution request) is invalid."""
+
+
+def _canonical_json(value) -> str:
+    """Deterministic JSON for hashing: sorted keys, repr fallback."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+
+
+@dataclass(frozen=True)
+class BackendEntry:
+    """One execution target of a campaign: a registry backend, its factory
+    options, and the label that distinguishes two configurations of the
+    same backend (e.g. ``trickle_default`` vs ``trickle_tuned``)."""
+
+    name: str
+    label: str
+    options: Items = ()
+
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+
+@dataclass(frozen=True)
+class Point:
+    """One cell of the campaign grid: params × seed × backend.
+
+    ``index`` is the deterministic position in the expanded grid (the
+    shard order); it is excluded from :meth:`digest` so re-declaring the
+    same grid in a different order still resumes cleanly.
+    """
+
+    campaign: str
+    index: int
+    params: Items
+    seed: int
+    backend: str                  # registry name, e.g. "trickle"
+    label: str                    # display/identity name, e.g. "trickle_def"
+    backend_options: Items = ()
+    until: Optional[float] = None  # campaign-level run-horizon cap
+
+    def params_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.backend_options)
+
+    def spec(self) -> Dict[str, object]:
+        """The identity of this point (everything but the shard index).
+
+        ``until`` is part of identity: results measured under a different
+        horizon must not satisfy a resume.
+        """
+        return {"campaign": self.campaign,
+                "params": self.params_dict(),
+                "seed": self.seed,
+                "backend": self.backend,
+                "label": self.label,
+                "backend_options": self.options_dict(),
+                "until": self.until}
+
+    def digest(self) -> str:
+        """Content address: a stable hash of :meth:`spec`."""
+        raw = _canonical_json(self.spec()).encode("utf-8")
+        return hashlib.sha256(raw).hexdigest()[:16]
+
+    def describe(self) -> str:
+        """``backend=kollaps seed=0 rate=1e+06`` — the human-facing key."""
+        parts = [f"backend={self.label}", f"seed={self.seed}"]
+        parts += [f"{name}={value!r}" if isinstance(value, str)
+                  else f"{name}={value:g}" if isinstance(value, float)
+                  else f"{name}={value}"
+                  for name, value in self.params]
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        record = self.spec()
+        record["index"] = self.index
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Point":
+        until = data.get("until")
+        return cls(campaign=data["campaign"],
+                   index=int(data.get("index", -1)),
+                   params=tuple(data["params"].items()),
+                   seed=int(data["seed"]),
+                   backend=data["backend"],
+                   label=data.get("label", data["backend"]),
+                   backend_options=tuple(
+                       data.get("backend_options", {}).items()),
+                   until=None if until is None else float(until))
+
+
+def expand_grid(campaign: str, grid: Mapping[str, Sequence],
+                seeds: Iterable[int], backends: Sequence[BackendEntry],
+                until: Optional[float] = None) -> List[Point]:
+    """The full cartesian product, in one deterministic shard order.
+
+    Order: parameter combinations vary slowest (grid declaration order,
+    first parameter outermost), then seeds ascending, then backends in
+    declaration order — so all executions of one scenario configuration
+    are adjacent in the shard sequence.
+    """
+    names = list(grid)
+    combos = itertools.product(*(grid[name] for name in names)) \
+        if names else [()]
+    seed_list = list(seeds)
+    points: List[Point] = []
+    index = 0
+    for combo in combos:
+        params = tuple(zip(names, combo))
+        for seed in seed_list:
+            for entry in backends:
+                points.append(Point(
+                    campaign=campaign, index=index, params=params,
+                    seed=seed, backend=entry.name, label=entry.label,
+                    backend_options=entry.options, until=until))
+                index += 1
+    digests: Dict[str, Point] = {}
+    for point in points:
+        clash = digests.setdefault(point.digest(), point)
+        if clash is not point:
+            raise CampaignError(
+                f"campaign {campaign!r} expands two identical points "
+                f"({point.describe()}); labels must disambiguate repeated "
+                "backend/option combinations")
+    return points

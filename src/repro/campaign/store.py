@@ -1,0 +1,122 @@
+"""The persistent, resumable campaign result store.
+
+One directory per campaign (``campaigns/<name>/`` by default) holding:
+
+* ``results.jsonl`` — one JSON record per executed point, appended as
+  points complete and flushed line-by-line, so a killed campaign loses at
+  most the point that was in flight.  Records are keyed by the point's
+  content hash (:meth:`~repro.campaign.grid.Point.digest`); duplicate
+  hashes resolve last-wins, which is how ``--fresh`` reruns supersede old
+  results without rewriting history.
+* ``manifest.json`` — the campaign definition that produced the records,
+  rewritten at the start of every run (provenance, not identity: points
+  are matched by hash, so editing the grid simply makes the new points
+  run while untouched ones still resume).
+
+A half-written trailing line (the in-flight point at kill time) is
+skipped on load rather than poisoning the resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Mapping, Optional
+
+__all__ = ["ResultStore", "RESUMABLE_STATUSES"]
+
+#: Statuses a resumed run trusts and skips.  ``error`` is deliberately
+#: absent: a crashed point (a bug, a flaky dependency) retries on resume,
+#: while an ``incompatible`` point is a deterministic capability verdict
+#: that re-running cannot change.
+RESUMABLE_STATUSES = ("ok", "incompatible")
+
+
+class ResultStore:
+    """Append-only JSONL records for one campaign, addressed by point hash."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self.results_path = os.path.join(self.directory, "results.jsonl")
+        self.manifest_path = os.path.join(self.directory, "manifest.json")
+
+    # ---------------------------------------------------------------- write
+    def append(self, record: Mapping) -> None:
+        """Persist one point record (must carry its ``hash``) durably."""
+        if "hash" not in record:
+            raise ValueError("a store record needs the point 'hash'")
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self.results_path, "a", encoding="utf-8") as handle:
+            # default=repr mirrors the digest path's canonical JSON: any
+            # grid value the hash accepted must also store (resume keys on
+            # the precomputed 'hash', never on re-parsed params).
+            handle.write(json.dumps(record, sort_keys=True, default=repr)
+                         + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def write_manifest(self, spec: Mapping) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self.manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(spec, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # ----------------------------------------------------------------- read
+    def load(self) -> Dict[str, dict]:
+        """hash -> latest record; corrupt (half-written) lines are skipped."""
+        records: Dict[str, dict] = {}
+        if not os.path.exists(self.results_path):
+            return records
+        with open(self.results_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue        # the interrupted point's partial write
+                if isinstance(record, dict) and "hash" in record:
+                    records[record["hash"]] = record
+        return records
+
+    def manifest(self) -> Optional[dict]:
+        if not os.path.exists(self.manifest_path):
+            return None
+        with open(self.manifest_path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def completed(self, statuses: Iterable[str] = RESUMABLE_STATUSES
+                  ) -> Dict[str, dict]:
+        """hash -> record for every point a resumed run may skip."""
+        wanted = set(statuses)
+        return {digest: record for digest, record in self.load().items()
+                if record.get("status") in wanted}
+
+    # --------------------------------------------------------------- status
+    def status_counts(self, points,
+                      records: Optional[Dict[str, dict]] = None
+                      ) -> Dict[str, int]:
+        """How this campaign's points stand: per-status counts + missing.
+
+        Pass preloaded ``records`` (from :meth:`load`) to avoid re-parsing
+        a large store when combining with :meth:`orphans`.
+        """
+        records = self.load() if records is None else records
+        counts: Dict[str, int] = {"ok": 0, "incompatible": 0, "error": 0,
+                                  "missing": 0}
+        for point in points:
+            record = records.get(point.digest())
+            if record is None:
+                counts["missing"] += 1
+            else:
+                status = record.get("status", "error")
+                counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def orphans(self, points,
+                records: Optional[Dict[str, dict]] = None) -> List[str]:
+        """Stored hashes no current point claims (grid edits leave these)."""
+        records = self.load() if records is None else records
+        live = {point.digest() for point in points}
+        return sorted(digest for digest in records if digest not in live)

@@ -28,6 +28,17 @@ exposing ``SCENARIO``) to a runnable experiment.
 ``reproduce``
     Run the paper's tables/figures and (re)write EXPERIMENTS.md — a thin
     alias for ``python -m repro.experiments``.
+
+``campaign``
+    Parallel sweep orchestration (:mod:`repro.campaign`): ``run`` a
+    campaign grid across a process pool with a persistent, resumable
+    result store; ``status`` a store against the grid; ``report`` the
+    stored aggregate as Markdown or CSV::
+
+        python -m repro.cli campaign run examples/campaign_sweep.py \
+            --jobs 4 --store campaigns
+        python -m repro.cli campaign status fig5
+        python -m repro.cli campaign report fig5 --baseline baremetal
 """
 
 from __future__ import annotations
@@ -125,6 +136,55 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--only", nargs="+", metavar="EXP")
     reproduce.add_argument("--quick", action="store_true")
     reproduce.add_argument("-o", "--output", default="EXPERIMENTS.md")
+
+    campaign = commands.add_parser(
+        "campaign", help="parallel sweep orchestration with a resumable "
+                         "result store")
+    campaign_commands = campaign.add_subparsers(dest="campaign_command",
+                                                required=True)
+
+    def _add_campaign_source(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "campaign_source",
+            help="a .py file exposing CAMPAIGN, or a registered "
+                 "experiment id (fig5, table2, table4, ...)")
+        subparser.add_argument(
+            "--store", default="campaigns",
+            help="campaigns root directory (results land under "
+                 "<store>/<name>/, default: campaigns)")
+
+    campaign_run = campaign_commands.add_parser(
+        "run", help="execute the sweep (skipping stored points)")
+    _add_campaign_source(campaign_run)
+    campaign_run.add_argument("--jobs", type=int, default=1,
+                              help="worker processes (default: 1, serial)")
+    freshness = campaign_run.add_mutually_exclusive_group()
+    freshness.add_argument("--resume", dest="resume", action="store_true",
+                           default=True,
+                           help="skip points the store already has "
+                                "(default)")
+    freshness.add_argument("--fresh", dest="resume", action="store_false",
+                           help="re-execute every point; new records "
+                                "supersede stored ones")
+    campaign_run.add_argument("--quiet", action="store_true",
+                              help="suppress the per-point progress feed")
+
+    campaign_status = campaign_commands.add_parser(
+        "status", help="compare the store against the campaign grid")
+    _add_campaign_source(campaign_status)
+
+    campaign_report = campaign_commands.add_parser(
+        "report", help="aggregate the stored results")
+    _add_campaign_source(campaign_report)
+    campaign_report.add_argument("--format", choices=("markdown", "csv"),
+                                 default="markdown")
+    campaign_report.add_argument("--baseline", default=None, metavar="BACKEND",
+                                 help="report per-cell deviation from this "
+                                      "backend (with --format csv the "
+                                      "deviation table is the whole report)")
+    campaign_report.add_argument("-o", "--output", default=None,
+                                 help="write the report here instead of "
+                                      "stdout")
     return parser
 
 
@@ -170,7 +230,8 @@ def _command_run(args: argparse.Namespace) -> int:
             print(f"note: --snapshot-every renders the Kollaps dashboard "
                   f"and is ignored on the {run.backend!r} backend",
                   file=sys.stderr)
-        print(f"backend: {run.backend}, ran to t={run.until:g}s")
+        print(f"backend: {run.backend}, seed: {run.seed}, "
+              f"machines: {run.machines}, ran to t={run.until:g}s")
         for key in sorted(run.metrics, key=str):
             metrics = run.metrics[key]
             if metrics.primary in metrics.summary:
@@ -191,6 +252,9 @@ def _command_run(args: argparse.Namespace) -> int:
 
     engine.run(until=duration)
 
+    # Run provenance: which backend/seed/cluster produced this output.
+    print(f"backend: kollaps, seed: {compiled.config.seed}, "
+          f"machines: {compiled.config.machines}, ran to t={duration:g}s")
     print(dashboard.render())
     for source, destination, _rate in args.flow:
         key = f"{source}->{destination}"
@@ -253,6 +317,116 @@ def _command_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_campaign(args: argparse.Namespace):
+    from repro.campaign import CampaignError, load_campaign
+    try:
+        return load_campaign(args.campaign_source)
+    except (CampaignError, FileNotFoundError) as error:
+        print(f"cannot load campaign {args.campaign_source!r}: {error}",
+              file=sys.stderr)
+        return None
+
+
+def _campaign_run(args: argparse.Namespace) -> int:
+    from repro.dashboard import CampaignMonitor
+
+    campaign = _load_campaign(args)
+    if campaign is None:
+        return 1
+    points = campaign.points()
+    print(campaign.describe(points), file=sys.stderr)
+    monitor = CampaignMonitor(
+        total=len(points),
+        stream=None if args.quiet else sys.stderr)
+    result = campaign.run(jobs=args.jobs, store=args.store,
+                          resume=args.resume, progress=monitor)
+    print(monitor.render(), file=sys.stderr)
+    print(result.describe())
+    print()
+    print(result.aggregate().to_markdown())
+    for failure in result.failed():
+        print(f"FAILED {failure.point.describe()}: "
+              f"{failure.error.splitlines()[0]}", file=sys.stderr)
+    return 1 if result.failed() else 0
+
+
+def _campaign_status(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore
+    import os
+
+    campaign = _load_campaign(args)
+    if campaign is None:
+        return 1
+    points = campaign.points()
+    store = ResultStore(os.path.join(args.store, campaign.name))
+    records = store.load()
+    counts = store.status_counts(points, records)
+    print(campaign.describe())
+    print(f"store: {store.directory}")
+    for status in ("ok", "incompatible", "error", "missing"):
+        print(f"  {status}: {counts.get(status, 0)}/{len(points)}")
+    orphans = store.orphans(points, records)
+    if orphans:
+        print(f"  orphaned records (grid no longer claims them): "
+              f"{len(orphans)}")
+    return 0
+
+
+def _campaign_report(args: argparse.Namespace) -> int:
+    campaign = _load_campaign(args)
+    if campaign is None:
+        return 1
+    result = campaign.load(args.store)
+    if not len(result):
+        print(f"no stored results for campaign {campaign.name!r} under "
+              f"{args.store!r}; run `repro campaign run` first",
+              file=sys.stderr)
+        return 1
+    if args.baseline is not None:
+        labels = sorted({point.label for point in campaign.points()})
+        if args.baseline not in labels:
+            print(f"unknown baseline {args.baseline!r}; this campaign's "
+                  f"backends: {', '.join(labels)}", file=sys.stderr)
+            return 1
+    aggregate = result.aggregate()
+    if args.format == "csv":
+        # One table per CSV document: with a baseline, the comparison IS
+        # the report (two stacked tables with different headers would
+        # break any CSV reader).
+        report = (aggregate.to_csv(aggregate.compare(args.baseline))
+                  if args.baseline else aggregate.to_csv())
+    else:
+        sections = [f"# campaign {campaign.name}", "", result.describe(),
+                    "", "## Summary", "", aggregate.to_markdown()]
+        rows = aggregate.rows()
+        sections += ["", "## Points", "", aggregate.to_markdown(rows)]
+        if args.baseline:
+            sections += ["", f"## Deviation from {args.baseline}", "",
+                         aggregate.to_markdown(
+                             aggregate.compare(args.baseline))]
+        failures = aggregate.failures()
+        if failures:
+            sections += ["", "## Failures", "",
+                         aggregate.to_markdown(failures)]
+        report = "\n".join(sections) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(report, end="" if report.endswith("\n") else "\n")
+    return 0
+
+
+def _command_campaign(args: argparse.Namespace) -> int:
+    handlers = {
+        "run": _campaign_run,
+        "status": _campaign_status,
+        "report": _campaign_report,
+    }
+    return handlers[args.campaign_command](args)
+
+
 def _command_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -272,6 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _command_plan,
         "scenario": _command_scenario,
         "reproduce": _command_reproduce,
+        "campaign": _command_campaign,
     }
     return handlers[args.command](args)
 

@@ -7,11 +7,11 @@ phases or piping into logs.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, TextIO
 
 from repro.units import format_rate, format_time
 
-__all__ = ["Dashboard"]
+__all__ = ["Dashboard", "CampaignMonitor"]
 
 
 class Dashboard:
@@ -109,3 +109,74 @@ class Dashboard:
             sections.append("events:\n" + "\n".join(
                 "  " + event for event in self.events[-10:]))
         return "\n\n".join(sections)
+
+
+class CampaignMonitor:
+    """A campaign's progress feed: per-point events, tallies, a bar.
+
+    Duck-typed against :class:`repro.campaign.executor.CampaignEvent`
+    (anything with ``kind``/``point``/``error``/``elapsed``/``detail``),
+    so the dashboard stays import-independent of the campaign package.
+    Pass an instance as ``Campaign.run(progress=...)``: each event
+    optionally streams one feed line (``stream=sys.stderr`` is the CLI's
+    live ticker) and :meth:`render` summarises the sweep at any moment.
+    """
+
+    #: Event kinds that mean "one more point has an outcome".
+    _TERMINAL = ("ok", "incompatible", "error", "skip")
+
+    def __init__(self, total: Optional[int] = None, *,
+                 stream: Optional[TextIO] = None,
+                 log_limit: int = 200) -> None:
+        self.total = total
+        self.stream = stream
+        self.log_limit = log_limit
+        self.counts: Dict[str, int] = {}
+        self.events: List[str] = []
+
+    # ------------------------------------------------------------- ingestion
+    def __call__(self, event) -> None:
+        kind = event.kind
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if kind == "start":
+            return                       # submissions aren't outcomes
+        where = event.point.describe() if event.point is not None else ""
+        detail = getattr(event, "detail", "")
+        suffix = ""
+        if kind == "error" and event.error:
+            suffix = f" — {event.error.splitlines()[0]}"
+        elif kind == "incompatible" and event.error:
+            suffix = f" — {event.error.splitlines()[0]}"
+        elif detail:
+            suffix = f" — {detail}"
+        timing = f" ({event.elapsed:.2f}s)" if kind == "ok" else ""
+        line = f"[{self.done}/{self.total or '?'}] {kind:<12} " \
+               f"{where}{timing}{suffix}"
+        self.events.append(line)
+        if len(self.events) > self.log_limit:
+            del self.events[:len(self.events) - self.log_limit]
+        if self.stream is not None:
+            print(line, file=self.stream)
+
+    # -------------------------------------------------------------- progress
+    @property
+    def done(self) -> int:
+        """Points with an outcome (completed, skipped, failed, N/A)."""
+        return sum(self.counts.get(kind, 0) for kind in self._TERMINAL)
+
+    def render(self, *, width: int = 40) -> str:
+        """The feed pane: a progress bar, tallies and recent events."""
+        total = self.total if self.total else max(self.done, 1)
+        filled = int(width * min(self.done / total, 1.0))
+        bar = "#" * filled + "-" * (width - filled)
+        tallies = ", ".join(
+            f"{self.counts[kind]} {kind}"
+            for kind in ("ok", "skip", "incompatible", "error", "fallback")
+            if self.counts.get(kind)) or "nothing yet"
+        lines = [f"campaign progress [{bar}] {self.done}"
+                 f"/{self.total if self.total is not None else '?'}",
+                 f"  {tallies}"]
+        if self.events:
+            lines.append("  recent:")
+            lines.extend("    " + event for event in self.events[-5:])
+        return "\n".join(lines)

@@ -9,6 +9,9 @@ runs any subset and regenerates ``EXPERIMENTS.md``.
 from repro.experiments.base import (
     Check,
     ExperimentResult,
+    as_campaign,
+    campaign_factory,
+    campaigns_registered,
     experiment,
     format_table,
     get_runner,
@@ -20,6 +23,9 @@ from repro.experiments.base import (
 __all__ = [
     "Check",
     "ExperimentResult",
+    "as_campaign",
+    "campaign_factory",
+    "campaigns_registered",
     "experiment",
     "format_table",
     "get_runner",

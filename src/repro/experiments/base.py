@@ -23,6 +23,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["Check", "ExperimentResult", "experiment", "registered",
            "get_runner", "run_experiments", "scenario_engine",
+           "campaign_factory", "as_campaign", "campaigns_registered",
            "format_table", "render_markdown"]
 
 
@@ -97,6 +98,7 @@ class ExperimentResult:
 
 
 _REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+_CAMPAIGNS: Dict[str, Callable] = {}
 
 # Presentation order for the report: the paper's own order.
 _ORDER = ["table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7",
@@ -113,6 +115,44 @@ def experiment(exp_id: str):
         return function
 
     return decorator
+
+
+def campaign_factory(exp_id: str):
+    """Register ``campaign(**kwargs) -> Campaign`` under ``exp_id``.
+
+    The decorated factory is the *one* definition of an experiment's
+    sweep: the serial runner iterates the campaign it returns (with
+    ``jobs=1`` and no store) and ``repro campaign run <exp_id>`` executes
+    the very same grid in parallel against a persistent store — the two
+    paths cannot drift.
+    """
+
+    def decorator(function: Callable):
+        if exp_id in _CAMPAIGNS:
+            raise ValueError(f"duplicate campaign id {exp_id!r}")
+        _CAMPAIGNS[exp_id] = function
+        return function
+
+    return decorator
+
+
+def campaigns_registered() -> List[str]:
+    """Every experiment id that also exposes a campaign form."""
+    _load_all()
+    return sorted(_CAMPAIGNS)
+
+
+def as_campaign(exp_id: str, **kwargs):
+    """The campaign form of a registered experiment (fig5, table2, ...)."""
+    _load_all()
+    try:
+        factory = _CAMPAIGNS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"experiment {exp_id!r} has no campaign form; "
+            f"available: {', '.join(campaigns_registered()) or 'none'}"
+        ) from None
+    return factory(**kwargs)
 
 
 def registered() -> List[str]:

@@ -6,9 +6,11 @@ metal, Kollaps and Mininet; the deviation of measured bandwidth from the
 bare-metal baseline stays below ~10 % (long-lived) and ~2 % (short-lived),
 with Kollaps generally at least as close as Mininet.
 
-The cross-system fan-out is the Scenario API's backend contract: each
-workload is compiled *once* and executed per system via
-``compiled.run(backend=...)``; deviations come from
+The cross-system fan-out is a campaign: :func:`campaign` declares the
+workload × backend grid once, the serial runner executes it in-process
+(``jobs=1``), and ``repro campaign run fig5 --jobs N`` runs the *same*
+grid in parallel against a persistent store — one definition, two
+execution modes.  Deviations come from
 :meth:`~repro.scenario.results.ScenarioRun.compare` against the
 bare-metal run.
 """
@@ -17,40 +19,63 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, campaign_factory, \
+    experiment
 from repro.scenario import CompiledScenario, ScenarioRun, http_load, iperf
 from repro.scenario.topologies import star
 
 _DURATION = 15.0
+_SEED = 61
 GBPS = 1e9
 
 WORKLOADS = ("cubic", "reno", "wrk2")
 SYSTEMS = ("baremetal", "kollaps", "mininet")
 
 
-def scenario(workload: str, duration: float = _DURATION) -> CompiledScenario:
-    """One compiled Figure-5 scenario, ready for any backend."""
+def point_scenario(*, traffic: str, duration: float = _DURATION,
+                   seed: int = _SEED):
+    """One Figure-5 scenario builder — the campaign's point factory.
+
+    ``traffic`` names the workload kind (``cubic``/``reno``/``wrk2``);
+    the axis is not called ``workload`` because that column name belongs
+    to the campaign aggregate's own per-workload rows.
+    """
     builder = star(["server", "client1", "client2"],
                    bandwidth=GBPS, latency=0.0005)
-    if workload == "wrk2":
+    if traffic == "wrk2":
         builder.workload(http_load("client2", "server", connections=100,
                                    key="wrk2"))
     else:
         builder.workload(iperf("client1", "server", duration=duration,
-                               congestion_control=workload, warmup=3.0,
-                               key=workload))
-    return builder.deploy(machines=3, seed=61, duration=duration).compile()
+                               congestion_control=traffic, warmup=3.0,
+                               key=traffic))
+    return builder.deploy(machines=3, seed=seed, duration=duration)
+
+
+def scenario(workload: str, duration: float = _DURATION) -> CompiledScenario:
+    """One compiled Figure-5 scenario, ready for any backend."""
+    return point_scenario(traffic=workload, duration=duration).compile()
+
+
+@campaign_factory("fig5")
+def campaign(duration: float = _DURATION):
+    """The Figure-5 sweep: workloads × systems at the paper's seed."""
+    from repro.campaign import Campaign
+    return (Campaign("fig5")
+            .scenario(point_scenario)
+            .grid(traffic=WORKLOADS, duration=[duration])
+            .seeds([_SEED])
+            .backends(*SYSTEMS))
 
 
 def compute_runs(duration: float = _DURATION
                  ) -> Dict[str, Dict[str, ScenarioRun]]:
-    """workload -> backend -> the run of the same compiled scenario."""
-    runs: Dict[str, Dict[str, ScenarioRun]] = {}
-    for workload in WORKLOADS:
-        compiled = scenario(workload, duration)
-        runs[workload] = {system: compiled.run(backend=system)
-                          for system in SYSTEMS}
-    return runs
+    """workload -> backend -> the run of one campaign grid cell."""
+    sweep = campaign(duration).run(jobs=1)
+    return {workload: {system: sweep.run_for(traffic=workload,
+                                             backend=system)
+                       for system in SYSTEMS}
+            for workload in WORKLOADS}
 
 
 def measured(run: ScenarioRun, workload: str) -> float:

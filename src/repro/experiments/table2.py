@@ -5,18 +5,23 @@ from 128 Kb/s to 1 Gb/s (the htb + iPerf3 framing cost); Mininet cannot
 shape above 1 Gb/s at all (N/A rows); Trickle with default buffers
 overshoots wildly, and only tracks the target after tuning (~±2 %).
 
-Each rate row is one compiled scenario executed per system through the
+Each rate row is one campaign cell executed per system through the
 backend registry: kollaps and mininet run the emulation (mininet's
->1 Gb/s rows fail backend validation — the paper's N/A), trickle prices
-the same provisioned path through its analytic shaper model.
+>1 Gb/s rows fail backend validation — the campaign's ``incompatible``
+status, the paper's N/A), trickle prices the same provisioned path
+through its analytic shaper model under two buffer configurations
+(two labelled entries of the same backend).  :func:`campaign` is the one
+grid definition; the serial runner and ``repro campaign run table2``
+both execute it.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.experiments.base import ExperimentResult, experiment
-from repro.scenario import BackendCompatibilityError, CompiledScenario, iperf
+from repro.experiments.base import ExperimentResult, campaign_factory, \
+    experiment
+from repro.scenario import CompiledScenario, iperf
 from repro.scenario.topologies import point_to_point
 from repro.baselines.trickle import (
     TRICKLE_DEFAULT_BUFFER_BYTES,
@@ -38,24 +43,64 @@ TABLE2_ROWS = [
 ]
 
 _DURATION = 12.0
+_SEED = 21
 _PHYSICAL_LINK_RATE = 40e9    # the testbed NIC trickle runs on
 
+SYSTEMS = ("kollaps", "mininet", "trickle_default", "trickle_tuned")
 
-def scenario(rate: float, duration: float = _DURATION) -> CompiledScenario:
+
+def point_scenario(*, rate: float, duration: float = _DURATION,
+                   seed: int = _SEED):
+    """One Table-2 scenario builder — the campaign's point factory."""
     return (point_to_point(rate, latency=0.001)
             .workload(iperf("client", "server", duration=duration,
                             warmup=4.0, key="iperf"))
-            .deploy(machines=2, seed=21, duration=duration)
-            .compile())
+            .deploy(machines=2, seed=seed, duration=duration))
 
 
-def shaping_error(compiled: CompiledScenario, rate: float, backend: str,
-                  **backend_options) -> Optional[float]:
-    """Relative goodput error on one backend; None when incompatible."""
-    try:
-        run = compiled.run(backend=backend, **backend_options)
-    except BackendCompatibilityError:
+def scenario(rate: float, duration: float = _DURATION) -> CompiledScenario:
+    return point_scenario(rate=rate, duration=duration).compile()
+
+
+@campaign_factory("table2")
+def campaign(duration: float = _DURATION):
+    """The Table-2 sweep: every provisioned rate × every shaping system."""
+    from repro.campaign import Campaign
+    return (Campaign("table2")
+            .scenario(point_scenario)
+            .grid(rate=[rate for rate, _k, _m in TABLE2_ROWS],
+                  duration=[duration])
+            .seeds([_SEED])
+            .backend("kollaps")
+            .backend("mininet")
+            .backend("trickle", alias="trickle_default",
+                     send_buffer_bytes=TRICKLE_DEFAULT_BUFFER_BYTES,
+                     physical_link_rate=_PHYSICAL_LINK_RATE)
+            .backend("trickle", alias="trickle_tuned",
+                     send_buffer_bytes=TRICKLE_TUNED_BUFFER_BYTES,
+                     physical_link_rate=_PHYSICAL_LINK_RATE))
+
+
+def shaping_error(result, rate: float) -> Optional[float]:
+    """Relative goodput error of one campaign cell; None when the backend
+    is incompatible (the paper's N/A)."""
+    if result is None or result.status == "incompatible":
         return None
+    if result.status == "error":
+        # The campaign captured the crash; the serial harness still fails
+        # loudly, as the pre-campaign code did.
+        raise RuntimeError(f"table2 cell {result.point.describe()} "
+                           f"failed: {result.error}")
+    run = result.run
+    if run.engine is None:
+        # A pool/store-reconstructed run has no engine, and the mininet
+        # veth/userspace shortfall below is engine state: computing the
+        # error without it would be silently wrong, not approximately
+        # right.  The serial harness (jobs=1) always has live runs.
+        raise RuntimeError(
+            f"table2 cell {result.point.describe()} was reconstructed "
+            "from a serialized run; shaping_error needs the live engine "
+            "(run the table2 campaign with jobs=1)")
     error = run["iperf"].relative_error(rate)
     # Mininet's modelled veth/userspace shortfall is reported separately
     # from the shaping error, as the paper's Table 2 does.
@@ -66,19 +111,17 @@ def shaping_error(compiled: CompiledScenario, rate: float, backend: str,
 def compute_rows(duration: float = _DURATION) -> List[Tuple]:
     """(rate, kollaps, mininet|None, trickle_def, trickle_tuned,
     paper_kollaps, paper_mininet|None) per Table 2 row."""
+    sweep = campaign(duration).run(jobs=1)
     rows = []
     for rate, paper_kollaps, paper_mininet in TABLE2_ROWS:
-        compiled = scenario(rate, duration)
+        cells = {system: sweep.result_for(rate=rate, backend=system)
+                 for system in SYSTEMS}
         rows.append((
             rate,
-            shaping_error(compiled, rate, "kollaps"),
-            shaping_error(compiled, rate, "mininet"),
-            shaping_error(compiled, rate, "trickle",
-                          send_buffer_bytes=TRICKLE_DEFAULT_BUFFER_BYTES,
-                          physical_link_rate=_PHYSICAL_LINK_RATE),
-            shaping_error(compiled, rate, "trickle",
-                          send_buffer_bytes=TRICKLE_TUNED_BUFFER_BYTES,
-                          physical_link_rate=_PHYSICAL_LINK_RATE),
+            shaping_error(cells["kollaps"], rate),
+            shaping_error(cells["mininet"], rate),
+            shaping_error(cells["trickle_default"], rate),
+            shaping_error(cells["trickle_tuned"], rate),
             paper_kollaps, paper_mininet))
     return rows
 

@@ -15,22 +15,21 @@ Sizes are scaled (250/500/1000) to keep the harness fast — the error
 *sources* (container networking, physical hops, controller round trips)
 are size-independent.
 
-Each size is one compiled scenario (probe pairs as ping workloads) fanned
+Each size is one campaign cell (probe pairs as ping workloads) fanned
 across the kollaps/mininet/maxinet backends; Mininet's over-budget sizes
-fail backend validation, which is the paper's N/A.
+fail backend validation — the campaign's ``incompatible`` status, the
+paper's N/A.  :func:`campaign` is the one grid definition; the serial
+runner and ``repro campaign run table4`` both execute it.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
-from repro.experiments.base import ExperimentResult, experiment
-from repro.scenario import (
-    BackendCompatibilityError,
-    CompiledScenario,
-    ScenarioRun,
-    ping,
-)
+from repro.experiments.base import ExperimentResult, campaign_factory, \
+    experiment
+from repro.scenario import CompiledScenario, ScenarioRun, ping
 from repro.scenario.topologies import scale_free
 from repro.sim import RngRegistry
 
@@ -59,21 +58,63 @@ def pick_pairs(compiled: CompiledScenario, seed: int,
     return pairs
 
 
-def scenario(size: int, pings: int = _PINGS,
-             pair_count: int = _PAIRS) -> Tuple[CompiledScenario, Dict]:
-    """The probing scenario plus the theoretical RTT per probe pair."""
-    builder = scale_free(size, seed=size)
-    bare = builder.compile()
-    pairs = pick_pairs(bare, seed=size, pair_count=pair_count)
+@lru_cache(maxsize=None)
+def probe_plan(size: int, pair_count: int = _PAIRS) -> Tuple[Tuple, Dict]:
+    """The probe pairs and their theoretical RTTs for one topology size.
+
+    Cached: the campaign factory runs once per backend, and the
+    all-pairs collapse of a scale-free topology is the expensive part.
+    """
+    bare = scale_free(size, seed=size).compile()
+    pairs = tuple(pick_pairs(bare, seed=size, pair_count=pair_count))
     collapsed = bare.collapsed()
     theory = {(a, b): collapsed.rtt(a, b) for a, b in pairs}
+    return pairs, theory
+
+
+def point_scenario(*, size: int, pings: int = _PINGS,
+                   pair_count: int = _PAIRS, seed: int = 0):
+    """One Table-4 probing scenario — the campaign's point factory.
+
+    The engine seed is ``size + seed``: campaign seed 0 reproduces the
+    historical per-size seeding, further seeds vary the run.
+    """
+    pairs, _theory = probe_plan(size, pair_count)
+    builder = scale_free(size, seed=size)
     for index, (a, b) in enumerate(pairs):
         builder.workload(ping(a, b, count=pings, interval=0.05,
                               start=index * 0.001, key=(a, b)))
-    compiled = builder.deploy(machines=4, seed=size,
-                              enforce_bandwidth_sharing=False,
-                              duration=pings * 0.05 + 3.0).compile()
+    return builder.deploy(machines=4, seed=size + seed,
+                          enforce_bandwidth_sharing=False,
+                          duration=pings * 0.05 + 3.0)
+
+
+def scenario(size: int, pings: int = _PINGS,
+             pair_count: int = _PAIRS) -> Tuple[CompiledScenario, Dict]:
+    """The probing scenario plus the theoretical RTT per probe pair."""
+    compiled = point_scenario(size=size, pings=pings,
+                              pair_count=pair_count).compile()
+    _pairs, theory = probe_plan(size, pair_count)
     return compiled, theory
+
+
+@campaign_factory("table4")
+def campaign(pings: int = _PINGS, pair_count: int = _PAIRS):
+    """The Table-4 sweep: sizes × systems, minus the paper's givens.
+
+    Maxinet stops at the middle size (the paper stops it at 2000 of
+    4000 elements), so those cells are excluded rather than executed.
+    """
+    from repro.campaign import Campaign
+    builder = (Campaign("table4")
+               .scenario(point_scenario)
+               .grid(size=SIZES, pings=[pings], pair_count=[pair_count])
+               .seeds([0]))
+    for system, options in BACKENDS.items():
+        builder.backend(system, **options)
+    return builder.exclude(
+        lambda point: point.label == "maxinet"
+        and dict(point.params)["size"] > SIZES[1])
 
 
 def mse_of(run: ScenarioRun, theory: Dict) -> float:
@@ -92,20 +133,21 @@ def mse_of(run: ScenarioRun, theory: Dict) -> float:
 
 def compute_results(pings: int = _PINGS, pair_count: int = _PAIRS
                     ) -> Dict[Tuple[str, int], Optional[float]]:
+    sweep = campaign(pings, pair_count).run(jobs=1)
     results: Dict[Tuple[str, int], Optional[float]] = {}
     for size in SIZES:
-        compiled, theory = scenario(size, pings, pair_count)
-        for system, options in BACKENDS.items():
-            if system == "maxinet" and size > SIZES[1]:
-                # The paper stops Maxinet at 2000 of 4000 elements.
+        _pairs, theory = probe_plan(size, pair_count)
+        for system in BACKENDS:
+            cell = sweep.result_for(size=size, backend=system)
+            if cell is None or cell.status == "incompatible":
+                # Excluded (Maxinet beyond the paper's sizes) or failed
+                # backend validation (Mininet over budget): the N/A cells.
                 results[(system, size)] = None
                 continue
-            try:
-                run = compiled.run(backend=system, **options)
-            except BackendCompatibilityError:
-                results[(system, size)] = None
-                continue
-            results[(system, size)] = mse_of(run, theory)
+            if cell.status == "error":
+                raise RuntimeError(f"table4 cell {cell.point.describe()} "
+                                   f"failed: {cell.error}")
+            results[(system, size)] = mse_of(cell.run, theory)
     return results
 
 

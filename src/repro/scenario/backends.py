@@ -439,7 +439,10 @@ def execute(compiled, backend: ExecutionBackend,
         results, metrics = backend.collect(horizon)
     finally:
         backend.teardown()
+    config = getattr(compiled, "config", None)
     return ScenarioRun(engine=system, until=horizon, results=results,
                        backend=getattr(backend, "name",
                                        type(backend).__name__),
-                       scenario=compiled.name, metrics=metrics)
+                       scenario=compiled.name, metrics=metrics,
+                       seed=getattr(config, "seed", None),
+                       machines=getattr(config, "machines", None))

@@ -30,11 +30,23 @@ def _unknown_key(what: str, key, available, where: str) -> KeyError:
                     f"available {what} keys: {names}")
 
 
-def series_summary(series: Series) -> Dict[str, float]:
-    """Mean/min/max over the values of a ``(time, value)`` series."""
+def series_summary(series: Series, *,
+                   workload: Optional[Hashable] = None) -> Dict[str, float]:
+    """Mean/min/max over the values of a ``(time, value)`` series.
+
+    An empty series has no summary: passing one raises a
+    :class:`ValueError` naming the workload (when given), so the failure
+    points at the measurement that produced nothing instead of surfacing
+    as a bare ``min()/max()`` error deep in a caller.
+    """
     values = [value for _time, value in series]
     if not values:
-        return {}
+        where = (f"workload {workload!r}" if workload is not None
+                 else "an unnamed workload")
+        raise ValueError(
+            f"cannot summarise an empty series for {where}: "
+            "the run collected no samples (did the workload ever start, "
+            "and did the run reach its horizon?)")
     return {"mean": sum(values) / len(values),
             "min": min(values), "max": max(values),
             "samples": float(len(values))}
@@ -75,6 +87,23 @@ class Metrics:
                 "summary": dict(self.summary),
                 "throughput": [list(sample) for sample in self.throughput],
                 "latency": [list(sample) for sample in self.latency]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Metrics":
+        """Rebuild a record exported by :meth:`to_dict` (JSON round-trip).
+
+        Keys come back as strings (``to_dict`` stringifies them), which is
+        what campaign stores and cross-process runs operate on.
+        """
+        return cls(key=data["key"], kind=data.get("kind", "custom"),
+                   throughput=tuple((float(time), float(value))
+                                    for time, value
+                                    in data.get("throughput", ())),
+                   latency=tuple((float(time), float(value))
+                                 for time, value in data.get("latency", ())),
+                   drops=int(data.get("drops", 0)),
+                   summary=dict(data.get("summary", {})),
+                   primary=data.get("primary", "throughput_mean"))
 
 
 @dataclass(frozen=True)
@@ -147,7 +176,13 @@ class RunComparison:
 
 @dataclass(frozen=True)
 class ScenarioRun:
-    """Outcome of one :meth:`CompiledScenario.run` on some backend."""
+    """Outcome of one :meth:`CompiledScenario.run` on some backend.
+
+    ``seed``, ``machines`` and ``params`` are run provenance: the
+    effective RNG seed and cluster size the executing backend saw, plus
+    the campaign grid parameters (empty outside a campaign).  They travel
+    through :meth:`to_dict` so any exported run is attributable.
+    """
 
     engine: object                       # the live system, fully run
     until: float
@@ -155,6 +190,9 @@ class ScenarioRun:
     backend: str = "kollaps"
     scenario: str = ""
     metrics: Dict[Hashable, Metrics] = field(default_factory=dict)
+    seed: Optional[int] = None
+    machines: Optional[int] = None
+    params: Mapping[str, object] = field(default_factory=dict)
 
     def __getitem__(self, key: Hashable):
         try:
@@ -203,8 +241,32 @@ class ScenarioRun:
     def to_dict(self) -> Dict[str, object]:
         return {"scenario": self.scenario, "backend": self.backend,
                 "until": self.until,
+                "seed": self.seed, "machines": self.machines,
+                "params": dict(self.params),
                 "workloads": {str(key): metrics.to_dict()
                               for key, metrics in self.metrics.items()}}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioRun":
+        """Rebuild a run exported by :meth:`to_dict` (JSON round-trip).
+
+        Only what ``to_dict`` exports survives: metrics, provenance and
+        identity.  The live ``engine`` and raw per-workload ``results``
+        are gone — this is the form campaign stores and worker processes
+        hand back, good for aggregation and :meth:`compare` but not for
+        poking at application state.
+        """
+        metrics = {key: Metrics.from_dict(record)
+                   for key, record in data.get("workloads", {}).items()}
+        seed = data.get("seed")
+        machines = data.get("machines")
+        return cls(engine=None, until=float(data.get("until", 0.0)),
+                   results={key: record for key, record in metrics.items()},
+                   backend=data.get("backend", "kollaps"),
+                   scenario=data.get("scenario", ""), metrics=metrics,
+                   seed=None if seed is None else int(seed),
+                   machines=None if machines is None else int(machines),
+                   params=dict(data.get("params", {})))
 
     def to_csv(self) -> str:
         """Flat CSV: summary rows then series samples, per workload.

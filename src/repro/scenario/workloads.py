@@ -41,10 +41,16 @@ def _time(value: Number) -> float:
     return parse_time(value)
 
 
-def _throughput_summary(series, mean: float) -> dict:
-    summary = {f"throughput_{name}": value
-               for name, value in series_summary(series).items()
-               if name in ("min", "max")}
+def _throughput_summary(series, mean: float, *,
+                        workload: Optional[Hashable] = None) -> dict:
+    # An empty series (a flow that never got a sample) still has its mean;
+    # series_summary itself refuses empty input, loudly.
+    summary = {}
+    if series:
+        summary = {f"throughput_{name}": value
+                   for name, value
+                   in series_summary(series, workload=workload).items()
+                   if name in ("min", "max")}
     summary["throughput_mean"] = mean
     return summary
 
@@ -119,7 +125,8 @@ class FlowWorkload(Workload):
     def metrics(self, engine, until: float, result) -> Metrics:
         series = tuple(engine.fluid.series(self.key))
         return Metrics(key=self.key, kind=self.kind, throughput=series,
-                       summary=_throughput_summary(series, float(result)),
+                       summary=_throughput_summary(series, float(result),
+                                                   workload=self.key),
                        primary="throughput_mean")
 
     def horizon(self) -> float:
@@ -167,7 +174,8 @@ class IperfWorkload(Workload):
                            series=series)
 
     def metrics(self, engine, until: float, result) -> Metrics:
-        summary = _throughput_summary(result.series, result.mean_goodput)
+        summary = _throughput_summary(result.series, result.mean_goodput,
+                                      workload=self.key)
         summary["wire_rate_mean"] = result.mean_wire_rate
         return Metrics(key=self.key, kind=self.kind,
                        throughput=tuple(result.series), summary=summary,
@@ -220,9 +228,12 @@ class PingWorkload(Workload):
             # interval (exact only when nothing was lost).
             series = tuple((self.start + index * self.interval, rtt)
                            for index, rtt in enumerate(result.rtts))
-        summary = {f"latency_{name}": value
-                   for name, value in series_summary(series).items()
-                   if name in ("min", "max")}
+        summary = {}
+        if series:
+            summary = {f"latency_{name}": value
+                       for name, value
+                       in series_summary(series, workload=self.key).items()
+                       if name in ("min", "max")}
         summary.update({"latency_mean": result.mean_rtt,
                         "latency_median": result.median_rtt,
                         "jitter": result.jitter,

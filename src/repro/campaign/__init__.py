@@ -35,6 +35,12 @@ from repro.campaign.executor import (
 from repro.campaign.grid import BackendEntry, CampaignError, Point, \
     expand_grid
 from repro.campaign.store import ResultStore
+from repro.campaign.distributed import (
+    Coordinator,
+    FleetEvent,
+    Worker,
+    run_fleet,
+)
 
 __all__ = [
     "Aggregate",
@@ -43,11 +49,15 @@ __all__ = [
     "CampaignError",
     "CampaignEvent",
     "CampaignResult",
+    "Coordinator",
+    "FleetEvent",
     "Point",
     "PointResult",
     "ResultStore",
+    "Worker",
     "execute_points",
     "expand_grid",
     "load_campaign",
+    "run_fleet",
     "run_point",
 ]

@@ -1,0 +1,63 @@
+"""Distributed campaign execution: a coordinator/worker fleet over hosts.
+
+PR 3's campaigns parallelised a sweep across *processes*; this package
+spreads one across *hosts*, the way Kollaps itself decentralises
+emulation state (§3).  A :class:`Coordinator` owns the grid and the
+canonical :class:`~repro.campaign.store.ResultStore` and hands out
+:class:`Lease`\\ s — batches of points with a heartbeat deadline — to
+:class:`Worker`\\ s, each of which executes its points through the usual
+per-point isolation path and appends to its *own* shard file
+(``campaigns/<name>/shards/<worker>.jsonl``).  The coordinator tails the
+shards and merges records into ``results.jsonl`` last-wins, reassigning
+any lease whose worker stops heartbeating — so a sweep survives a host
+loss, and distributed, parallel and serial runs of one campaign produce
+byte-identical aggregates.
+
+    from repro.campaign.distributed import run_fleet
+
+    result = run_fleet(campaign, workers=4, store="campaigns",
+                       lease_timeout=60.0)
+
+The control plane is plain files under ``campaigns/<name>/fleet/`` (one
+writer each, atomically replaced), so a fleet needs nothing but a shared
+volume: ``repro campaign serve`` runs the coordinator, ``repro campaign
+work`` a worker, ``repro campaign fleet --workers N`` a whole local
+fleet, and :func:`repro.orchestration.campaign_fleet_plan` emits the
+compose/k8s deployment for a real one.
+"""
+
+from repro.campaign.distributed.coordinator import (
+    Coordinator,
+    FleetEvent,
+    WorkerState,
+    ensure_quiescent,
+    serving_state,
+)
+from repro.campaign.distributed.fleet import run_fleet
+from repro.campaign.distributed.leases import Lease, LeaseTable
+from repro.campaign.distributed.protocol import FleetPaths
+from repro.campaign.distributed.shards import (
+    ShardReader,
+    ShardStore,
+    shard_path,
+    worker_of_shard,
+)
+from repro.campaign.distributed.worker import Worker, default_worker_id
+
+__all__ = [
+    "Coordinator",
+    "FleetEvent",
+    "FleetPaths",
+    "Lease",
+    "LeaseTable",
+    "ShardReader",
+    "ShardStore",
+    "Worker",
+    "WorkerState",
+    "default_worker_id",
+    "ensure_quiescent",
+    "run_fleet",
+    "serving_state",
+    "shard_path",
+    "worker_of_shard",
+]

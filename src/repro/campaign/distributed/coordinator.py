@@ -1,0 +1,399 @@
+"""The fleet coordinator: one campaign, many hosts, one canonical store.
+
+The :class:`Coordinator` owns the expanded grid and the canonical
+:class:`~repro.campaign.store.ResultStore`.  It admits workers (bounded
+by a :class:`~repro.cluster.Cluster`'s machines), hands each a *lease* —
+a batch of point payloads with a liveness deadline — tails every worker's
+shard file, and merges finished records into ``results.jsonl`` last-wins.
+A worker that stops heartbeating past the lease timeout is presumed dead:
+its unfinished digests return to the pending queue in shard order and the
+next idle worker picks them up, so a sweep survives the loss of any
+single host.  Completion is decided by the content-addressed store, never
+by which worker claimed what — which is why distributed, parallel and
+serial executions of one campaign aggregate byte-identically.
+
+The coordinator is single-threaded: :meth:`serve` is a poll loop over
+:meth:`step`, and :meth:`step` takes an explicit ``now`` so every
+scheduling decision (grant, expiry, reassignment) is testable with a
+fake clock and no sleeping.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.campaign.builder import Campaign, CampaignResult
+from repro.campaign.executor import PointResult
+from repro.campaign.grid import CampaignError, Point
+from repro.campaign.store import RESUMABLE_STATUSES, ResultStore
+from repro.campaign.distributed.leases import LeaseTable
+from repro.campaign.distributed.protocol import (
+    FleetPaths,
+    read_json,
+    write_json,
+)
+from repro.campaign.distributed.shards import (
+    ShardReader,
+    shard_path,
+    worker_of_shard,
+)
+
+__all__ = ["Coordinator", "FleetEvent", "WorkerState"]
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One coordinator observation, for the fleet monitor.
+
+    ``rows`` accompanies ``merge`` events: ``(backend label, workload,
+    headline value)`` triples extracted from the merged record, which is
+    what lets the dashboard maintain live aggregate deltas without ever
+    re-reading the store.
+    """
+
+    kind: str            # "serve" | "join" | "wait" | "lease" | "heartbeat"
+                         # | "merge" | "expire" | "dead" | "done"
+    time: float = 0.0
+    worker: str = ""
+    point: Optional[Point] = None
+    status: str = ""
+    lease_id: int = 0
+    count: int = 0
+    detail: str = ""
+    rows: Tuple[Tuple[str, str, float], ...] = ()
+
+
+@dataclass
+class WorkerState:
+    """What the coordinator knows about one admitted worker."""
+
+    worker: str
+    machine: Optional[str] = None       # None: waiting for cluster capacity
+    status: str = "waiting"             # "waiting" | "live" | "suspect"
+    last_seen: float = 0.0
+    heartbeat_seq: int = -1
+    lease_seq: int = 0
+    reader: Optional[ShardReader] = None
+    completed: int = 0
+
+
+def _headline_rows(record: Dict) -> Tuple[Tuple[str, str, float], ...]:
+    """(backend, workload, value) per workload with a headline statistic."""
+    run = record.get("run")
+    if not isinstance(run, dict):
+        return ()
+    backend = str(record.get("point", {}).get("label", "?"))
+    rows = []
+    workloads = run.get("workloads", {})
+    for key in sorted(workloads):
+        metrics = workloads[key]
+        primary = metrics.get("primary")
+        summary = metrics.get("summary", {})
+        if primary in summary:
+            rows.append((backend, str(key), float(summary[primary])))
+    return tuple(rows)
+
+
+class Coordinator:
+    """Serve one campaign to a fleet of shard-writing workers."""
+
+    def __init__(self, campaign: Campaign, store: ResultStore, *,
+                 cluster=None, workers_per_machine: int = 1,
+                 lease_size: int = 4, lease_timeout: float = 30.0,
+                 resume: bool = True,
+                 progress: Optional[Callable[[FleetEvent], None]] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.campaign = campaign
+        self.store = store
+        self.cluster = cluster
+        self.workers_per_machine = workers_per_machine
+        self.lease_size = lease_size
+        self.lease_timeout = lease_timeout
+        self.clock = clock
+        self._notify = progress if progress is not None else lambda event: None
+        self.paths = FleetPaths(store.directory)
+
+        self.points: List[Point] = campaign.points()
+        self._by_digest: Dict[str, Point] = {point.digest(): point
+                                             for point in self.points}
+        self.resume = resume
+        stored = store.completed(RESUMABLE_STATUSES) if resume else {}
+        self.resumed = sorted(set(stored) & set(self._by_digest),
+                              key=lambda digest: self._by_digest[digest].index)
+        self.table = LeaseTable(self.points, timeout=lease_timeout,
+                                completed=self.resumed)
+        self.workers: Dict[str, WorkerState] = {}
+        self._readers: Dict[str, ShardReader] = {}
+        self._state_seq = 0
+        self._last_published: Optional[Tuple] = None
+        self._served = False
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Publish the manifest and the serving state (idempotent)."""
+        if self._served:
+            return
+        self._served = True
+        self._adopt_leftover_shards()
+        self.store.write_manifest(self.campaign.spec())
+        self._publish("serving")
+        self._notify(FleetEvent(kind="serve", time=self.clock(),
+                                count=len(self.points),
+                                detail=f"{len(self.resumed)} resumed "
+                                       "from store"))
+
+    def _adopt_leftover_shards(self) -> None:
+        """Settle shard files a previous fleet left behind.
+
+        A fresh run (``resume=False``) deletes them: their records must
+        not satisfy any point of *this* sweep, and a worker reusing the
+        id would otherwise have its stale history merged as brand-new
+        completions.  A resumed run instead salvages unmerged records
+        with resumable statuses into the canonical store (the work a
+        crashed coordinator never merged) and pre-consumes everything
+        else — stale ``error`` records are *retried*, exactly like the
+        local resume path — by keeping each file's reader offset at its
+        current end for when that worker id rejoins.
+        """
+        if not self.resume:
+            for path in self.store.shard_paths():
+                os.remove(path)
+            return
+        salvaged: List[Dict] = []
+        for path in self.store.shard_paths():
+            reader = ShardReader(path)
+            for digest, record in reader.poll():
+                if digest not in self._by_digest:
+                    continue
+                if record.get("status") not in RESUMABLE_STATUSES:
+                    continue
+                if not self.table.complete(digest):
+                    continue            # canonical store already has it
+                salvaged.append(record)
+                self.resumed.append(digest)
+            self._readers[worker_of_shard(path)] = reader
+        if salvaged:
+            self.store.append_many(salvaged)
+            self.resumed.sort(
+                key=lambda digest: self._by_digest[digest].index)
+
+    def serve(self, *, poll: float = 0.2,
+              timeout: Optional[float] = None) -> CampaignResult:
+        """Poll :meth:`step` until every point completes, then merge-close.
+
+        ``timeout`` (wall seconds) guards a fleet that never shows up —
+        it raises :class:`TimeoutError` rather than spinning forever.
+        """
+        self.start()
+        deadline = None if timeout is None else self.clock() + timeout
+        while not self.done():
+            self.step(self.clock())
+            if self.done():
+                break
+            if deadline is not None and self.clock() > deadline:
+                self._publish("serving")
+                raise TimeoutError(
+                    f"campaign {self.campaign.name!r} fleet made no "
+                    f"progress to completion within {timeout:g}s "
+                    f"({self.table.remaining()} points outstanding)")
+            time.sleep(poll)
+        return self.finish()
+
+    def done(self) -> bool:
+        return self.table.done()
+
+    def finish(self) -> CampaignResult:
+        """Publish the done state and load the merged canonical result."""
+        self._publish("done")
+        self._notify(FleetEvent(kind="done", time=self.clock(),
+                                count=len(self.table.completed)))
+        return self.result()
+
+    def result(self) -> CampaignResult:
+        records = self.store.load()
+        results = []
+        for point in self.points:
+            record = records.get(point.digest())
+            if record is not None:
+                results.append(PointResult.from_record(record, point))
+        return CampaignResult(self.campaign.name, results,
+                              skipped=len(self.resumed))
+
+    # ------------------------------------------------------------------ step
+    def step(self, now: float) -> None:
+        """One scheduling round: admit, observe, merge, expire, grant."""
+        self._admit(now)
+        self._observe_heartbeats(now)
+        self._merge_shards(now)
+        self._expire(now)
+        self._grant(now)
+        self._publish("serving" if not self.done() else "draining")
+
+    # ----------------------------------------------------------- admission
+    def _admit(self, now: float) -> None:
+        for worker, _document in self.paths.joined_workers().items():
+            if worker in self.workers:
+                continue
+            # A pre-consumed reader (leftover shard adopted at start)
+            # keeps its offset, so stale records never re-merge.
+            reader = self._readers.pop(worker, None) or ShardReader(
+                shard_path(self.store.directory, worker))
+            state = WorkerState(worker=worker, last_seen=now, reader=reader)
+            self.workers[worker] = state
+            self._place(state, now)
+
+    def _place(self, state: WorkerState, now: float) -> None:
+        """Give the worker a machine (cluster capacity) or leave it waiting."""
+        if self.cluster is None:
+            state.machine, state.status = "local", "live"
+        else:
+            machine = self.cluster.acquire(
+                state.worker, per_machine=self.workers_per_machine)
+            if machine is None:
+                state.status = "waiting"
+                self._notify(FleetEvent(
+                    kind="wait", time=now, worker=state.worker,
+                    detail="no machine free in the cluster"))
+                return
+            state.machine, state.status = machine, "live"
+        self._notify(FleetEvent(kind="join", time=now, worker=state.worker,
+                                detail=state.machine or ""))
+
+    # ------------------------------------------------------------ liveness
+    def _observe_heartbeats(self, now: float) -> None:
+        for worker, state in self.workers.items():
+            document = read_json(self.paths.heartbeat(worker))
+            if document is None:
+                continue
+            seq = int(document.get("seq", -1))
+            if seq <= state.heartbeat_seq:
+                continue
+            state.heartbeat_seq = seq
+            state.last_seen = now
+            self.table.heartbeat(worker, now)
+            self._notify(FleetEvent(kind="heartbeat", time=now,
+                                    worker=worker, count=seq))
+            if state.status == "suspect":
+                # Back from the dead (a stall, not a crash): it lost its
+                # lease but may compete for a machine and new work again.
+                self._place(state, now)
+
+    def _expire(self, now: float) -> None:
+        for lease in self.table.expire(now):
+            state = self.workers.get(lease.worker)
+            outstanding = lease.outstanding()
+            if state is not None:
+                state.status = "suspect"
+                if self.cluster is not None:
+                    self.cluster.evict(lease.worker)
+                state.machine = None
+            write_json(self.paths.lease(lease.worker),
+                       {"status": "revoked", "lease_id": lease.lease_id,
+                        "seq": state.lease_seq + 1 if state else 0})
+            if state is not None:
+                state.lease_seq += 1
+            self._notify(FleetEvent(
+                kind="expire", time=now, worker=lease.worker,
+                lease_id=lease.lease_id, count=len(outstanding),
+                detail=f"{len(outstanding)} points back in the queue"))
+            # A freed machine may unblock a waiting worker immediately.
+            for other in self.workers.values():
+                if other.status == "waiting":
+                    self._place(other, now)
+
+    # --------------------------------------------------------------- merge
+    def _merge_shards(self, now: float) -> None:
+        fresh: List[Dict] = []
+        for worker, state in self.workers.items():
+            if state.reader is None:
+                continue
+            for digest, record in state.reader.poll():
+                point = self._by_digest.get(digest)
+                if point is None:
+                    continue            # an orphan from another grid
+                if not self.table.complete(digest):
+                    continue            # duplicate (a zombie's late write)
+                state.completed += 1
+                fresh.append(record)
+                self._notify(FleetEvent(
+                    kind="merge", time=now, worker=worker, point=point,
+                    status=str(record.get("status", "error")),
+                    count=len(self.table.completed),
+                    rows=_headline_rows(record)))
+        if fresh:
+            # One open + one fsync for the whole batch: the bulk-merge
+            # path the per-record append would make O(batch) barriers.
+            self.store.append_many(fresh)
+
+    # --------------------------------------------------------------- grant
+    def _grant(self, now: float) -> None:
+        for worker, state in sorted(self.workers.items()):
+            if state.status != "live":
+                continue
+            lease = self.table.grant(worker, now, size=self.lease_size)
+            if lease is None:
+                continue
+            state.lease_seq += 1
+            write_json(self.paths.lease(worker), {
+                "status": "granted",
+                "lease_id": lease.lease_id,
+                "seq": state.lease_seq,
+                "deadline": lease.deadline,
+                "points": [self._by_digest[digest].to_dict()
+                           for digest in lease.digests],
+            })
+            self._notify(FleetEvent(kind="lease", time=now, worker=worker,
+                                    lease_id=lease.lease_id,
+                                    count=len(lease.digests)))
+
+    # --------------------------------------------------------------- state
+    def _publish(self, status: str) -> None:
+        """Republish ``state.json`` only when its content would change —
+        an idle poll loop must not fsync the shared volume 5×/second."""
+        if self.done() and status != "serving":
+            status = "done"
+        snapshot = (status, len(self.table.completed),
+                    tuple(sorted(self.workers)))
+        if snapshot == self._last_published:
+            return
+        self._last_published = snapshot
+        self._state_seq += 1
+        write_json(self.paths.state, {
+            "status": status,
+            "campaign": self.campaign.name,
+            "seq": self._state_seq,
+            "total": len(self.points),
+            "completed": len(self.table.completed),
+            "workers": sorted(self.workers),
+        })
+
+    # ------------------------------------------------------------- queries
+    def describe(self) -> str:
+        leased = sum(1 for lease in self.table.leases.values()
+                     for _digest in lease.digests)
+        return (f"fleet for campaign {self.campaign.name!r}: "
+                f"{len(self.table.completed)}/{len(self.points)} points, "
+                f"{len(self.workers)} worker(s), "
+                f"{leased} leased, {len(self.table.pending)} pending")
+
+
+def serving_state(store: ResultStore) -> Optional[Dict]:
+    """The fleet state document of a campaign store, if any."""
+    return read_json(FleetPaths(store.directory).state)
+
+
+def ensure_quiescent(store: ResultStore, *, force: bool = False) -> None:
+    """Refuse destructive store maintenance while a fleet is serving.
+
+    A crashed coordinator leaves a stale ``serving`` state behind;
+    ``force=True`` is the operator's override for exactly that case.
+    """
+    state = serving_state(store)
+    if state and state.get("status") == "serving" and not force:
+        raise CampaignError(
+            f"campaign {state.get('campaign', '?')!r} has a fleet marked "
+            "as serving; finish it (or pass force/--force if the "
+            "coordinator crashed) before compacting")

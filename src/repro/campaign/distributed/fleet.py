@@ -1,0 +1,79 @@
+"""A whole fleet on one machine: coordinator plus N worker threads.
+
+``repro campaign fleet <src> --workers N`` (and the tests) drive a real
+distributed run without provisioning anything: the coordinator serves in
+the calling thread while N :class:`~repro.campaign.distributed.worker
+.Worker` threads poll the same fleet directory through the identical
+file protocol a multi-host deployment uses.  Nothing is mocked — leases,
+heartbeats, shard merges and reassignment all happen exactly as they
+would across hosts, which is what makes the local fleet a faithful
+rehearsal (and the place to inject worker deaths via ``fail_after``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Union
+
+from repro.campaign.builder import Campaign, CampaignResult
+from repro.campaign.store import ResultStore
+from repro.campaign.distributed.coordinator import Coordinator, FleetEvent
+from repro.campaign.distributed.worker import Worker
+
+__all__ = ["run_fleet"]
+
+
+def run_fleet(campaign: Campaign, *,
+              workers: int = 2,
+              store: Union[str, ResultStore] = "campaigns",
+              cluster=None,
+              lease_size: int = 4,
+              lease_timeout: float = 30.0,
+              resume: bool = True,
+              poll: float = 0.05,
+              timeout: Optional[float] = None,
+              fail_after: Optional[Dict[int, int]] = None,
+              progress: Optional[Callable[[FleetEvent], None]] = None
+              ) -> CampaignResult:
+    """Run one campaign on a simulated fleet of ``workers`` threads.
+
+    ``store`` is a campaigns root directory or a ready store — a fleet is
+    inherently store-backed (the store *is* the data plane).  ``cluster``
+    optionally bounds concurrently working workers by machine count.
+    ``fail_after`` maps a worker index to a point budget after which that
+    worker dies mid-lease (fault injection: the coordinator must reassign
+    its lease for the sweep to finish).  Returns the merged
+    :class:`CampaignResult` — byte-identical in aggregate to a serial
+    ``campaign.run(jobs=1)`` of the same grid.
+    """
+    if workers < 1:
+        raise ValueError("a fleet needs at least one worker")
+    store_obj = store if isinstance(store, ResultStore) \
+        else campaign._store(store)
+    coordinator = Coordinator(campaign, store_obj, cluster=cluster,
+                              lease_size=lease_size,
+                              lease_timeout=lease_timeout, resume=resume,
+                              progress=progress)
+    coordinator.start()
+
+    budgets = fail_after or {}
+    threads = []
+    for index in range(workers):
+        worker = Worker(campaign, store_obj.directory,
+                        f"local-{index}",
+                        max_points=budgets.get(index))
+        thread = threading.Thread(
+            target=worker.run,
+            kwargs={"poll": poll, "timeout": timeout},
+            name=f"campaign-worker-{index}", daemon=True)
+        thread.start()
+        threads.append(thread)
+
+    try:
+        result = coordinator.serve(poll=poll, timeout=timeout)
+    finally:
+        # Workers exit on the published done state; on an error path the
+        # state stays "serving", so don't block forever on daemon threads.
+        for thread in threads:
+            thread.join(timeout=2.0 if timeout is None else timeout)
+    return result

@@ -1,0 +1,176 @@
+"""Lease bookkeeping: which worker owns which points, until when.
+
+A *lease* is the coordinator's unit of work assignment: a batch of point
+digests handed to one worker together with a deadline.  The worker renews
+the deadline by heartbeating (at least once per completed point); a
+worker that stops heartbeating — crashed host, killed process, partitioned
+network — lets its lease expire, and the coordinator returns the
+unfinished digests to the pending queue for reassignment.  Completed
+digests never re-enter the queue, so a worker that dies mid-lease loses
+only its in-flight points, and a *zombie* (a worker presumed dead that
+keeps writing) is harmless: its late shard records merge last-wins with
+the reassigned execution of the same content-addressed point.
+
+:class:`LeaseTable` is pure bookkeeping — no I/O, no threads, and an
+explicit ``now`` on every call — so lease expiry and reassignment are
+testable with a fake clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.grid import Point
+
+__all__ = ["Lease", "LeaseTable"]
+
+
+@dataclass
+class Lease:
+    """One worker's current work batch, with its liveness deadline."""
+
+    lease_id: int
+    worker: str
+    digests: Tuple[str, ...]
+    issued: float
+    deadline: float
+    #: Digests of this lease the coordinator has seen results for.
+    done: List[str] = field(default_factory=list)
+
+    def outstanding(self) -> List[str]:
+        finished = set(self.done)
+        return [digest for digest in self.digests
+                if digest not in finished]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"lease_id": self.lease_id, "worker": self.worker,
+                "digests": list(self.digests), "issued": self.issued,
+                "deadline": self.deadline}
+
+
+class LeaseTable:
+    """The coordinator's assignment state over one campaign's points.
+
+    Points enter as *pending* (in shard order), move into at most one
+    active :class:`Lease` each, and leave on completion.  ``timeout``
+    seconds without a heartbeat expires a lease: :meth:`expire` revokes
+    it and returns its unfinished digests to the front of the pending
+    queue (re-sorted into shard order, so reassignment never perturbs
+    the deterministic aggregate).
+    """
+
+    def __init__(self, points: Sequence[Point], *, timeout: float = 30.0,
+                 completed: Sequence[str] = ()) -> None:
+        if timeout <= 0:
+            raise ValueError("lease timeout must be positive")
+        self.timeout = timeout
+        self._order: Dict[str, int] = {point.digest(): point.index
+                                       for point in points}
+        already = set(completed) & set(self._order)
+        self._completed: set = already
+        self._pending: List[str] = [
+            digest for digest in sorted(self._order, key=self._order.get)
+            if digest not in already]
+        self._leases: Dict[str, Lease] = {}      # worker -> active lease
+        self._next_id = 1
+
+    # ------------------------------------------------------------- queries
+    @property
+    def pending(self) -> List[str]:
+        """Unassigned, uncompleted digests, in shard order."""
+        return list(self._pending)
+
+    @property
+    def leases(self) -> Dict[str, Lease]:
+        return dict(self._leases)
+
+    def lease_of(self, worker: str) -> Optional[Lease]:
+        return self._leases.get(worker)
+
+    @property
+    def completed(self) -> set:
+        return set(self._completed)
+
+    def done(self) -> bool:
+        """Every point completed (nothing pending, nothing leased)."""
+        return not self._pending and not self._leases
+
+    def remaining(self) -> int:
+        return len(self._order) - len(self._completed)
+
+    # ------------------------------------------------------------ granting
+    def grant(self, worker: str, now: float, *, size: int = 4
+              ) -> Optional[Lease]:
+        """A new lease of up to ``size`` pending digests, or None.
+
+        None means the worker already holds a lease or nothing is
+        pending — an idle worker polls again after the next merge or
+        expiry changes the queue.
+        """
+        if size < 1:
+            raise ValueError("lease size must be >= 1")
+        if worker in self._leases or not self._pending:
+            return None
+        batch = tuple(self._pending[:size])
+        del self._pending[:len(batch)]
+        lease = Lease(lease_id=self._next_id, worker=worker, digests=batch,
+                      issued=now, deadline=now + self.timeout)
+        self._next_id += 1
+        self._leases[worker] = lease
+        return lease
+
+    # ------------------------------------------------------------ liveness
+    def heartbeat(self, worker: str, now: float) -> bool:
+        """Renew the worker's lease deadline; False when it holds none
+        (expired and revoked, or never granted) — the worker must drop
+        its batch and ask for a fresh lease."""
+        lease = self._leases.get(worker)
+        if lease is None:
+            return False
+        lease.deadline = now + self.timeout
+        return True
+
+    def expire(self, now: float) -> List[Lease]:
+        """Revoke every lease past its deadline, requeueing unfinished
+        digests in shard order; returns the revoked leases."""
+        expired = [lease for lease in self._leases.values()
+                   if now > lease.deadline]
+        for lease in expired:
+            del self._leases[lease.worker]
+            self._pending.extend(digest for digest in lease.outstanding()
+                                 if digest not in self._completed)
+        if expired:
+            self._pending.sort(key=self._order.get)
+        return expired
+
+    def release(self, worker: str) -> Optional[Lease]:
+        """Voluntarily revoke a worker's lease (clean shutdown), requeueing
+        its unfinished digests."""
+        lease = self._leases.pop(worker, None)
+        if lease is not None:
+            self._pending.extend(digest for digest in lease.outstanding()
+                                 if digest not in self._completed)
+            self._pending.sort(key=self._order.get)
+        return lease
+
+    # ---------------------------------------------------------- completion
+    def complete(self, digest: str) -> bool:
+        """Record one finished point (wherever its result came from).
+
+        Unknown digests (orphans from an edited grid, duplicate merges)
+        return False and change nothing.
+        """
+        if digest not in self._order or digest in self._completed:
+            return False
+        self._completed.add(digest)
+        try:
+            self._pending.remove(digest)
+        except ValueError:
+            pass
+        for worker, lease in list(self._leases.items()):
+            if digest in lease.digests:
+                lease.done.append(digest)
+                if not lease.outstanding():
+                    del self._leases[worker]
+        return True

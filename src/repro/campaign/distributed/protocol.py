@@ -1,0 +1,89 @@
+"""The fleet's shared-filesystem control plane.
+
+Kollaps' own design point (§3) is that coordination state lives *with*
+the participants, not in a central message bus — and a campaign store is
+already a shared directory every fleet member can reach (a volume in the
+compose/k8s deployment, a plain directory for a local fleet).  The
+control plane is therefore files under ``<campaign dir>/fleet/``, each
+with exactly one writer:
+
+``state.json``
+    Coordinator-owned: serving/done status plus progress counters.
+    Workers poll it to discover completion (and to wait for a coordinator
+    that has not started yet).
+``workers/<worker>.json``
+    Worker-owned: the join announcement.
+``leases/<worker>.json``
+    Coordinator-owned: the worker's current lease (point payloads
+    included, so a worker never re-expands the grid) or its revocation.
+``heartbeats/<worker>.json``
+    Worker-owned: a monotonically increasing sequence number.  The
+    *coordinator's* clock turns "the sequence changed" into a liveness
+    timestamp, so fleet hosts never need synchronized clocks.
+
+Every JSON document is written to a scratch file and ``os.replace``\\ d
+into place — readers see the old version or the new one, never a torn
+write.  Readers treat unparseable or missing files as "not there yet".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+__all__ = ["FleetPaths", "write_json", "read_json"]
+
+
+def write_json(path: str, document: Dict) -> None:
+    """Atomically publish one control-plane document."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    scratch = f"{path}.{os.getpid()}.tmp"
+    with open(scratch, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, default=repr)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(scratch, path)
+
+
+def read_json(path: str) -> Optional[Dict]:
+    """The document, or None while absent / not yet fully published."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (FileNotFoundError, ValueError):
+        return None
+
+
+class FleetPaths:
+    """Path arithmetic for one campaign's fleet directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = str(directory)
+        self.fleet_dir = os.path.join(self.directory, "fleet")
+        self.state = os.path.join(self.fleet_dir, "state.json")
+        self.workers_dir = os.path.join(self.fleet_dir, "workers")
+        self.leases_dir = os.path.join(self.fleet_dir, "leases")
+        self.heartbeats_dir = os.path.join(self.fleet_dir, "heartbeats")
+
+    def worker(self, worker: str) -> str:
+        return os.path.join(self.workers_dir, f"{worker}.json")
+
+    def lease(self, worker: str) -> str:
+        return os.path.join(self.leases_dir, f"{worker}.json")
+
+    def heartbeat(self, worker: str) -> str:
+        return os.path.join(self.heartbeats_dir, f"{worker}.json")
+
+    def joined_workers(self) -> Dict[str, Dict]:
+        """worker id -> join document, for every announced worker."""
+        if not os.path.isdir(self.workers_dir):
+            return {}
+        joined: Dict[str, Dict] = {}
+        for name in sorted(os.listdir(self.workers_dir)):
+            if not name.endswith(".json"):
+                continue
+            document = read_json(os.path.join(self.workers_dir, name))
+            if document is not None:
+                joined[name[:-len(".json")]] = document
+        return joined

@@ -1,0 +1,110 @@
+"""Per-worker shard stores: each fleet worker appends only to its own file.
+
+The distributed store layout keeps the single-writer invariant without any
+locking: the coordinator is the only writer of ``results.jsonl``, and each
+worker is the only writer of ``shards/<worker>.jsonl``.  Workers append
+records exactly as a local campaign does (flushed, fsynced, one JSON line
+per point); the coordinator tails every shard incrementally and merges new
+records into the canonical store last-wins — so a distributed sweep's
+``results.jsonl`` is byte-compatible with a local one, and
+:meth:`~repro.campaign.store.ResultStore.compact` can delete merged shards
+wholesale.
+
+A killed worker leaves at most one half-written trailing line in its
+shard; :class:`ShardReader` (like the store's own loader) skips it, and —
+because it might still be the *start* of a record an unkilled worker is
+mid-write — never advances its offset past an unterminated tail, so a
+slow multi-part write is read whole on a later poll.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List, Mapping, Tuple
+
+from repro.campaign.store import encode_record
+
+__all__ = ["ShardStore", "ShardReader", "shard_path", "worker_of_shard"]
+
+_WORKER_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.\-]*$")
+
+
+def shard_path(directory: str, worker: str) -> str:
+    """``<campaign dir>/shards/<worker>.jsonl`` for a validated worker id."""
+    if not _WORKER_RE.match(worker):
+        raise ValueError(
+            f"worker id {worker!r} must be alphanumeric (plus _ . -): it "
+            "names files in the shared store")
+    return os.path.join(directory, "shards", f"{worker}.jsonl")
+
+
+def worker_of_shard(path: str) -> str:
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+class ShardStore:
+    """Append-only JSONL records for one worker of one campaign."""
+
+    def __init__(self, directory: str, worker: str) -> None:
+        self.directory = str(directory)
+        self.worker = worker
+        self.path = shard_path(self.directory, worker)
+
+    def append(self, record: Mapping) -> None:
+        """Persist one point record durably (same framing as the canonical
+        store, so merge and compaction treat the lines identically)."""
+        line = encode_record(record)
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> Dict[str, dict]:
+        """hash -> latest record, tolerating a corrupt tail."""
+        from repro.campaign.store import read_records
+        return read_records(self.path)
+
+
+class ShardReader:
+    """Incremental tail of one shard file, for the coordinator's merges.
+
+    Each :meth:`poll` returns only the records appended since the last
+    poll.  The reader remembers a byte offset and resumes there, so a
+    coordinator polling many shards in a tight serve loop re-reads
+    nothing.  Lines are consumed only when newline-terminated; a partial
+    tail (a worker killed mid-write, or simply mid-``write(2)``) stays
+    unconsumed until either a later poll completes it or it is abandoned
+    for good — garbage on it never poisons the merge, because the line
+    must still parse as a record to be returned.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.offset = 0
+
+    def poll(self) -> List[Tuple[str, dict]]:
+        """(hash, record) for every complete new line, in append order."""
+        if not os.path.exists(self.path):
+            return []
+        records: List[Tuple[str, dict]] = []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            chunk = handle.read()
+        consumed = chunk.rfind(b"\n") + 1
+        if consumed == 0:
+            return []
+        self.offset += consumed
+        for raw in chunk[:consumed].splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                continue            # a torn or garbage line: skip, move on
+            if isinstance(record, dict) and "hash" in record:
+                records.append((record["hash"], record))
+        return records

@@ -1,0 +1,137 @@
+"""A fleet worker: lease in, points through the isolation path, shard out.
+
+One :class:`Worker` process (or thread, for the local ``--workers N``
+simulation) joins a campaign's fleet directory, polls for leases, runs
+each leased point through the *same*
+:func:`~repro.campaign.executor.run_point` isolation path a local sweep
+uses — every outcome captured, a crash never poisons the batch — and
+appends the records to its own shard file.  It never touches the
+canonical store: merging is the coordinator's job, which is what keeps
+every file single-writer.
+
+Heartbeats happen on every poll and before every point, so a lease stays
+live exactly as long as the worker makes progress; a worker that wedges
+mid-point stops heartbeating and loses the lease.  ``max_points`` is the
+built-in fault injection: the worker dies (stops heartbeating, abandons
+its lease) after executing that many points — how the tests and the CI
+mini-sweep simulate a host loss without actually provisioning one.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional
+
+from repro.campaign.builder import Campaign
+from repro.campaign.grid import Point
+from repro.campaign.distributed.protocol import (
+    FleetPaths,
+    read_json,
+    write_json,
+)
+from repro.campaign.distributed.shards import ShardStore
+
+__all__ = ["Worker", "default_worker_id"]
+
+
+def default_worker_id() -> str:
+    """``<hostname>-<pid>`` — unique per process across fleet hosts."""
+    import socket
+    host = socket.gethostname().split(".")[0] or "worker"
+    safe = "".join(ch if ch.isalnum() or ch in "_-." else "-"
+                   for ch in host)
+    return f"{safe}-{os.getpid()}"
+
+
+class WorkerDied(RuntimeError):
+    """Internal: the fault-injection budget ran out mid-lease."""
+
+
+class Worker:
+    """Execute leased points of one campaign, appending to an own shard."""
+
+    def __init__(self, campaign: Campaign, directory: str, worker_id: str, *,
+                 max_points: Optional[int] = None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.campaign = campaign
+        self.worker_id = worker_id
+        self.paths = FleetPaths(directory)
+        self.shard = ShardStore(directory, worker_id)
+        self.max_points = max_points
+        self.clock = clock
+        self._notify = progress if progress is not None else lambda line: None
+        self._heartbeat_seq = 0
+        self._lease_seq = -1
+        self.executed = 0
+
+    # ------------------------------------------------------------- plumbing
+    def join(self) -> None:
+        write_json(self.paths.worker(self.worker_id),
+                   {"worker": self.worker_id, "pid": os.getpid(),
+                    "campaign": self.campaign.name})
+        self._notify(f"worker {self.worker_id}: joined "
+                     f"{self.paths.directory}")
+
+    def heartbeat(self, *, lease_id: int = 0) -> None:
+        self._heartbeat_seq += 1
+        write_json(self.paths.heartbeat(self.worker_id),
+                   {"worker": self.worker_id, "seq": self._heartbeat_seq,
+                    "lease_id": lease_id, "executed": self.executed})
+
+    def _coordinator_done(self) -> bool:
+        state = read_json(self.paths.state)
+        return bool(state) and state.get("status") == "done"
+
+    # ------------------------------------------------------------ execution
+    def _execute_lease(self, lease: dict) -> None:
+        lease_id = int(lease.get("lease_id", 0))
+        self._notify(f"worker {self.worker_id}: lease {lease_id} "
+                     f"({len(lease.get('points', []))} points)")
+        for data in lease.get("points", []):
+            if self.max_points is not None \
+                    and self.executed >= self.max_points:
+                raise WorkerDied(
+                    f"worker {self.worker_id} died after "
+                    f"{self.executed} points (fault injection)")
+            self.heartbeat(lease_id=lease_id)
+            point = Point.from_dict(data)
+            result = self.campaign.run_point(point)
+            self.shard.append(result.to_record())
+            self.executed += 1
+            self.heartbeat(lease_id=lease_id)
+            self._notify(f"worker {self.worker_id}: [{result.status}] "
+                         f"{point.describe()} ({result.elapsed:.2f}s)")
+
+    def run(self, *, poll: float = 0.2,
+            timeout: Optional[float] = None) -> int:
+        """Join, then work leases until the coordinator publishes *done*.
+
+        Returns the number of points executed.  ``timeout`` bounds the
+        total wall time (for a worker whose coordinator never appears);
+        fault injection exhausting ``max_points`` returns silently —
+        a dead worker does not report.
+        """
+        self.join()
+        deadline = None if timeout is None else self.clock() + timeout
+        try:
+            while not self._coordinator_done():
+                if deadline is not None and self.clock() > deadline:
+                    raise TimeoutError(
+                        f"worker {self.worker_id}: no completion from the "
+                        f"coordinator within {timeout:g}s")
+                self.heartbeat()
+                lease = read_json(self.paths.lease(self.worker_id))
+                seq = -1 if lease is None else int(lease.get("seq", -1))
+                if lease is not None and seq > self._lease_seq:
+                    self._lease_seq = seq
+                    if lease.get("status") == "granted":
+                        self._execute_lease(lease)
+                        continue        # ask immediately for the next one
+                time.sleep(poll)
+        except WorkerDied as death:
+            self._notify(str(death))
+        self._notify(f"worker {self.worker_id}: done "
+                     f"({self.executed} points executed)")
+        return self.executed

@@ -19,11 +19,49 @@ skipped on load rather than poisoning the resume.
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 from typing import Dict, Iterable, List, Mapping, Optional
 
-__all__ = ["ResultStore", "RESUMABLE_STATUSES"]
+__all__ = ["ResultStore", "RESUMABLE_STATUSES", "encode_record",
+           "read_records"]
+
+
+def encode_record(record: Mapping) -> str:
+    """One store line: canonical JSON with the digest path's repr fallback.
+
+    default=repr mirrors the digest path's canonical JSON: any grid value
+    the hash accepted must also store (resume keys on the precomputed
+    'hash', never on re-parsed params).
+    """
+    if "hash" not in record:
+        raise ValueError("a store record needs the point 'hash'")
+    return json.dumps(record, sort_keys=True, default=repr) + "\n"
+
+
+def read_records(path: str) -> Dict[str, dict]:
+    """hash -> latest record from one JSONL file, last-wins.
+
+    Corrupt lines — the half-written tail of a killed writer, whether a
+    campaign process or a fleet worker's shard — are skipped rather than
+    poisoning the load.
+    """
+    records: Dict[str, dict] = {}
+    if not os.path.exists(path):
+        return records
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue        # the interrupted writer's partial line
+            if isinstance(record, dict) and "hash" in record:
+                records[record["hash"]] = record
+    return records
 
 #: Statuses a resumed run trusts and skips.  ``error`` is deliberately
 #: absent: a crashed point (a bug, a flaky dependency) retries on resume,
@@ -43,17 +81,26 @@ class ResultStore:
     # ---------------------------------------------------------------- write
     def append(self, record: Mapping) -> None:
         """Persist one point record (must carry its ``hash``) durably."""
-        if "hash" not in record:
-            raise ValueError("a store record needs the point 'hash'")
+        self.append_many([record])
+
+    def append_many(self, records: Iterable[Mapping]) -> int:
+        """Persist a batch of records under one open + one fsync.
+
+        The per-record :meth:`append` fsync is the right durability for a
+        live sweep (lose at most the in-flight point), but a bulk path —
+        the fleet coordinator merging a whole shard, a store migration —
+        would pay one disk barrier per record for no extra safety: the
+        batch is all-or-nothing anyway.  Returns the number written.
+        """
+        lines = [encode_record(record) for record in records]
+        if not lines:
+            return 0
         os.makedirs(self.directory, exist_ok=True)
         with open(self.results_path, "a", encoding="utf-8") as handle:
-            # default=repr mirrors the digest path's canonical JSON: any
-            # grid value the hash accepted must also store (resume keys on
-            # the precomputed 'hash', never on re-parsed params).
-            handle.write(json.dumps(record, sort_keys=True, default=repr)
-                         + "\n")
+            handle.writelines(lines)
             handle.flush()
             os.fsync(handle.fileno())
+        return len(lines)
 
     def write_manifest(self, spec: Mapping) -> None:
         os.makedirs(self.directory, exist_ok=True)
@@ -64,21 +111,12 @@ class ResultStore:
     # ----------------------------------------------------------------- read
     def load(self) -> Dict[str, dict]:
         """hash -> latest record; corrupt (half-written) lines are skipped."""
-        records: Dict[str, dict] = {}
-        if not os.path.exists(self.results_path):
-            return records
-        with open(self.results_path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except ValueError:
-                    continue        # the interrupted point's partial write
-                if isinstance(record, dict) and "hash" in record:
-                    records[record["hash"]] = record
-        return records
+        return read_records(self.results_path)
+
+    def shard_paths(self) -> List[str]:
+        """Per-worker shard files a distributed run left under this store."""
+        return sorted(glob.glob(os.path.join(self.directory, "shards",
+                                             "*.jsonl")))
 
     def manifest(self) -> Optional[dict]:
         if not os.path.exists(self.manifest_path):
@@ -120,3 +158,67 @@ class ResultStore:
         records = self.load() if records is None else records
         live = {point.digest() for point in points}
         return sorted(digest for digest in records if digest not in live)
+
+    # ----------------------------------------------------------- compaction
+    def _record_lines(self, path: str) -> int:
+        count = 0
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                count = sum(1 for line in handle if line.strip())
+        return count
+
+    def compact(self) -> Dict[str, int]:
+        """Garbage-collect the store: one record per hash, no shard files.
+
+        A long-lived sweep accumulates superseded lines — ``--fresh``
+        reruns, retried errors, a fleet's reassigned leases — plus the
+        per-worker shard files a distributed run already merged into
+        ``results.jsonl``.  ``compact()`` rewrites ``results.jsonl`` with
+        exactly the last-wins survivors (in stable hash order), first
+        salvaging any shard record the coordinator died before merging,
+        then deletes the shard files.  The rewrite goes through a
+        temporary file + ``os.replace``, so a crash mid-compaction leaves
+        either the old or the new store, never a truncated one.
+
+        Returns the reclamation report: ``records_kept``,
+        ``records_dropped`` (superseded or duplicate lines removed),
+        ``records_salvaged`` (unmerged shard records adopted),
+        ``shards_removed`` and ``bytes_reclaimed``.  Running it twice is a
+        no-op: the second pass keeps every record and reclaims 0 bytes.
+
+        Only compact a quiescent campaign — a live fleet is still
+        appending to the shards this deletes.
+        """
+        shard_files = self.shard_paths()
+        lines_before = self._record_lines(self.results_path) + sum(
+            self._record_lines(path) for path in shard_files)
+        bytes_before = sum(
+            os.path.getsize(path)
+            for path in [self.results_path] + shard_files
+            if os.path.exists(path))
+        records = self.load()
+        salvaged = 0
+        for path in shard_files:
+            for digest, record in read_records(path).items():
+                if digest not in records:
+                    records[digest] = record
+                    salvaged += 1
+        os.makedirs(self.directory, exist_ok=True)
+        scratch = self.results_path + ".compact"
+        with open(scratch, "w", encoding="utf-8") as handle:
+            for digest in sorted(records):
+                handle.write(encode_record(records[digest]))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, self.results_path)
+        for path in shard_files:
+            os.remove(path)
+        shards_dir = os.path.join(self.directory, "shards")
+        if os.path.isdir(shards_dir) and not os.listdir(shards_dir):
+            os.rmdir(shards_dir)
+        bytes_after = os.path.getsize(self.results_path)
+        return {"records_kept": len(records),
+                "records_dropped": lines_before - len(records),
+                "records_salvaged": salvaged,
+                "shards_removed": len(shard_files),
+                "bytes_reclaimed": bytes_before - bytes_after}

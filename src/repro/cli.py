@@ -33,12 +33,25 @@ exposing ``SCENARIO``) to a runnable experiment.
     Parallel sweep orchestration (:mod:`repro.campaign`): ``run`` a
     campaign grid across a process pool with a persistent, resumable
     result store; ``status`` a store against the grid; ``report`` the
-    stored aggregate as Markdown or CSV::
+    stored aggregate as Markdown or CSV; ``compact`` garbage-collects a
+    long-lived store::
 
         python -m repro.cli campaign run examples/campaign_sweep.py \
             --jobs 4 --store campaigns
         python -m repro.cli campaign status fig5
         python -m repro.cli campaign report fig5 --baseline baremetal
+        python -m repro.cli campaign compact fig5
+
+    Distributed execution (:mod:`repro.campaign.distributed`) spreads one
+    sweep across hosts sharing the store directory: ``serve`` runs the
+    lease-granting coordinator, ``work`` one shard-writing worker, and
+    ``fleet`` either simulates a whole fleet locally (``--workers N``) or
+    emits the compose/k8s deployment for a real one (``--plan``)::
+
+        python -m repro.cli campaign fleet table2 --workers 4
+        python -m repro.cli campaign serve table2 &          # host A
+        python -m repro.cli campaign work table2             # hosts B, C...
+        python -m repro.cli campaign fleet table2 --workers 4 --plan swarm
 """
 
 from __future__ import annotations
@@ -185,6 +198,80 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_report.add_argument("-o", "--output", default=None,
                                  help="write the report here instead of "
                                       "stdout")
+
+    def _add_fleet_tuning(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("--lease-size", type=int, default=4,
+                               help="points per lease batch (default: 4)")
+        subparser.add_argument("--lease-timeout", type=float, default=60.0,
+                               help="seconds without a heartbeat before a "
+                                    "worker's lease is reassigned "
+                                    "(default: 60)")
+        subparser.add_argument("--machines", type=int, default=None,
+                               help="bound concurrently working workers by "
+                                    "a simulated cluster of N machines "
+                                    "(default: unbounded)")
+        subparser.add_argument("--poll", type=float, default=0.2,
+                               help="control-plane poll interval in seconds")
+        subparser.add_argument("--timeout", type=float, default=None,
+                               help="give up after this many wall seconds "
+                                    "without completion")
+
+    campaign_serve = campaign_commands.add_parser(
+        "serve", help="run the fleet coordinator for a distributed sweep")
+    _add_campaign_source(campaign_serve)
+    _add_fleet_tuning(campaign_serve)
+    serve_freshness = campaign_serve.add_mutually_exclusive_group()
+    serve_freshness.add_argument("--resume", dest="resume",
+                                 action="store_true", default=True,
+                                 help="skip points the store already has "
+                                      "(default)")
+    serve_freshness.add_argument("--fresh", dest="resume",
+                                 action="store_false",
+                                 help="re-execute every point")
+    campaign_serve.add_argument("--quiet", action="store_true",
+                                help="suppress the fleet event feed")
+
+    campaign_work = campaign_commands.add_parser(
+        "work", help="run one fleet worker against a served campaign")
+    _add_campaign_source(campaign_work)
+    campaign_work.add_argument("--worker", default=None, metavar="ID",
+                               help="worker id (default: <host>-<pid>; "
+                                    "names this worker's shard file)")
+    campaign_work.add_argument("--poll", type=float, default=0.2)
+    campaign_work.add_argument("--timeout", type=float, default=None)
+    campaign_work.add_argument("--fail-after", type=int, default=None,
+                               metavar="N",
+                               help="fault injection: die (stop "
+                                    "heartbeating) after executing N "
+                                    "points")
+    campaign_work.add_argument("--quiet", action="store_true")
+
+    campaign_fleet = campaign_commands.add_parser(
+        "fleet", help="simulate a coordinator + N workers locally, or "
+                      "emit the fleet's deployment plan")
+    _add_campaign_source(campaign_fleet)
+    _add_fleet_tuning(campaign_fleet)
+    campaign_fleet.add_argument("--workers", type=int, default=2,
+                                help="fleet size (default: 2)")
+    fleet_freshness = campaign_fleet.add_mutually_exclusive_group()
+    fleet_freshness.add_argument("--resume", dest="resume",
+                                 action="store_true", default=True)
+    fleet_freshness.add_argument("--fresh", dest="resume",
+                                 action="store_false")
+    campaign_fleet.add_argument("--quiet", action="store_true")
+    campaign_fleet.add_argument("--plan", choices=("swarm", "kubernetes"),
+                                default=None,
+                                help="emit the compose/k8s fleet document "
+                                     "instead of running anything")
+
+    campaign_compact = campaign_commands.add_parser(
+        "compact", help="garbage-collect a store: drop superseded records "
+                        "and merged shard files")
+    _add_campaign_source(campaign_compact)
+    campaign_compact.add_argument("--force", action="store_true",
+                                  help="compact even when the fleet state "
+                                       "says a coordinator is serving "
+                                       "(it crashed)")
     return parser
 
 
@@ -340,25 +427,15 @@ def _campaign_run(args: argparse.Namespace) -> int:
         stream=None if args.quiet else sys.stderr)
     result = campaign.run(jobs=args.jobs, store=args.store,
                           resume=args.resume, progress=monitor)
-    print(monitor.render(), file=sys.stderr)
-    print(result.describe())
-    print()
-    print(result.aggregate().to_markdown())
-    for failure in result.failed():
-        print(f"FAILED {failure.point.describe()}: "
-              f"{failure.error.splitlines()[0]}", file=sys.stderr)
-    return 1 if result.failed() else 0
+    return _print_campaign_outcome(result, monitor)
 
 
 def _campaign_status(args: argparse.Namespace) -> int:
-    from repro.campaign import ResultStore
-    import os
-
     campaign = _load_campaign(args)
     if campaign is None:
         return 1
     points = campaign.points()
-    store = ResultStore(os.path.join(args.store, campaign.name))
+    store = _campaign_store(args, campaign)
     records = store.load()
     counts = store.status_counts(points, records)
     print(campaign.describe())
@@ -418,11 +495,135 @@ def _campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_campaign_outcome(result, monitor=None) -> int:
+    if monitor is not None:
+        print(monitor.render(), file=sys.stderr)
+    print(result.describe())
+    print()
+    print(result.aggregate().to_markdown())
+    for failure in result.failed():
+        print(f"FAILED {failure.point.describe()}: "
+              f"{failure.error.splitlines()[0]}", file=sys.stderr)
+    return 1 if result.failed() else 0
+
+
+def _campaign_store(args: argparse.Namespace, campaign):
+    # One path-derivation authority: Campaign._store, so serve/work/
+    # compact can never read a different directory than run/fleet.
+    return campaign._store(args.store)
+
+
+def _campaign_serve(args: argparse.Namespace) -> int:
+    from repro.campaign.distributed import Coordinator
+    from repro.cluster import Cluster
+    from repro.dashboard import FleetMonitor
+
+    campaign = _load_campaign(args)
+    if campaign is None:
+        return 1
+    points = campaign.points()
+    print(campaign.describe(points), file=sys.stderr)
+    monitor = FleetMonitor(total=len(points),
+                           stream=None if args.quiet else sys.stderr)
+    cluster = None if args.machines is None else Cluster(args.machines)
+    coordinator = Coordinator(campaign, _campaign_store(args, campaign),
+                              cluster=cluster, lease_size=args.lease_size,
+                              lease_timeout=args.lease_timeout,
+                              resume=args.resume, progress=monitor)
+    try:
+        result = coordinator.serve(poll=args.poll, timeout=args.timeout)
+    except TimeoutError as error:
+        print(f"fleet timed out: {error}", file=sys.stderr)
+        return 1
+    return _print_campaign_outcome(result, monitor)
+
+
+def _campaign_work(args: argparse.Namespace) -> int:
+    from repro.campaign.distributed import Worker, default_worker_id
+
+    campaign = _load_campaign(args)
+    if campaign is None:
+        return 1
+    store = _campaign_store(args, campaign)
+    worker = Worker(campaign, store.directory,
+                    args.worker or default_worker_id(),
+                    max_points=args.fail_after,
+                    progress=(None if args.quiet else
+                              lambda line: print(line, file=sys.stderr)))
+    try:
+        executed = worker.run(poll=args.poll, timeout=args.timeout)
+    except TimeoutError as error:
+        print(f"worker timed out: {error}", file=sys.stderr)
+        return 1
+    print(f"worker {worker.worker_id}: executed {executed} point(s)")
+    return 0
+
+
+def _campaign_fleet(args: argparse.Namespace) -> int:
+    campaign = _load_campaign(args)
+    if campaign is None:
+        return 1
+    if args.plan is not None:
+        from repro.orchestration import campaign_fleet_plan, render_plan
+        plan = campaign_fleet_plan(args.campaign_source, args.workers,
+                                   orchestrator=args.plan)
+        print(f"# campaign fleet plan ({plan.orchestrator}): "
+              f"1 coordinator + {args.workers} worker(s), shared "
+              f"'campaigns' volume")
+        print(render_plan(plan), end="")
+        return 0
+    from repro.campaign.distributed import run_fleet
+    from repro.cluster import Cluster
+    from repro.dashboard import FleetMonitor
+
+    points = campaign.points()
+    print(campaign.describe(points), file=sys.stderr)
+    monitor = FleetMonitor(total=len(points),
+                           stream=None if args.quiet else sys.stderr)
+    cluster = None if args.machines is None else Cluster(args.machines)
+    try:
+        result = run_fleet(campaign, workers=args.workers, store=args.store,
+                           cluster=cluster, lease_size=args.lease_size,
+                           lease_timeout=args.lease_timeout,
+                           resume=args.resume, poll=args.poll,
+                           timeout=args.timeout, progress=monitor)
+    except TimeoutError as error:
+        print(f"fleet timed out: {error}", file=sys.stderr)
+        return 1
+    return _print_campaign_outcome(result, monitor)
+
+
+def _campaign_compact(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignError
+    from repro.campaign.distributed import ensure_quiescent
+
+    campaign = _load_campaign(args)
+    if campaign is None:
+        return 1
+    store = _campaign_store(args, campaign)
+    try:
+        ensure_quiescent(store, force=args.force)
+    except CampaignError as error:
+        print(f"not compacting: {error}", file=sys.stderr)
+        return 1
+    report = store.compact()
+    print(f"compacted {store.directory}: kept {report['records_kept']} "
+          f"record(s), dropped {report['records_dropped']} superseded "
+          f"line(s), salvaged {report['records_salvaged']} unmerged shard "
+          f"record(s), removed {report['shards_removed']} shard file(s), "
+          f"reclaimed {report['bytes_reclaimed']} bytes")
+    return 0
+
+
 def _command_campaign(args: argparse.Namespace) -> int:
     handlers = {
         "run": _campaign_run,
         "status": _campaign_status,
         "report": _campaign_report,
+        "serve": _campaign_serve,
+        "work": _campaign_work,
+        "fleet": _campaign_fleet,
+        "compact": _campaign_compact,
     }
     return handlers[args.campaign_command](args)
 

@@ -6,13 +6,23 @@ zero on one host (shared memory only), grows with the number of *hosts*,
 and is essentially flat in the number of *containers* — the
 decentralization claim.  Absolute volume stays in the hundreds of KB/s at
 the largest configuration (paper: ~493 KB/s at 160 containers, 4 hosts).
+
+The sweep is a campaign: :func:`campaign` declares the (containers,
+flows) × hosts grid once — the configurations the paper never measured
+are ``exclude``\\ d — with the metadata rate collected by a ``custom``
+workload, so the serial runner (``jobs=1``), ``repro campaign run fig3
+--jobs N`` and a distributed ``repro campaign fleet fig3`` all execute
+the identical per-point path.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.experiments.base import ExperimentResult, experiment, scenario_engine
+from repro.experiments.base import ExperimentResult, campaign_factory, \
+    experiment
+from repro.netstack.plane import BULK_PLANE
+from repro.scenario import custom, flow
 from repro.scenario.topologies import dumbbell
 
 # (containers, flows) configurations of Figure 3 (scaled to half size so
@@ -20,28 +30,51 @@ from repro.scenario.topologies import dumbbell
 CONFIGS = [(20, 10), (40, 10), (40, 20), (80, 10), (80, 20), (80, 40)]
 HOSTS = [1, 2, 3, 4]
 _DURATION = 5.0
+_SEED = 41
 
 
-def run_config(containers: int, flows: int, hosts: int,
-               duration: float = _DURATION) -> float:
-    """Total metadata wire traffic in bytes/s for one configuration."""
-    pairs = containers // 2
-    engine = scenario_engine(dumbbell(pairs, shared_bandwidth=50e6),
-                             machines=hosts, seed=41)
+def _metadata_rate(engine, until, _state) -> float:
+    """Total metadata wire traffic in bytes/s over the whole run."""
+    return engine.total_metadata_wire_bytes() / until
+
+
+def point_scenario(*, containers: int, flows: int, hosts: int,
+                   duration: float = _DURATION, seed: int = _SEED):
+    """One Figure-3 scenario builder — the campaign's point factory."""
+    builder = dumbbell(containers // 2, shared_bandwidth=50e6)
     for index in range(flows):
-        engine.start_flow(f"f{index}", f"client{index}", f"server{index}")
-    engine.run(until=duration)
-    return engine.total_metadata_wire_bytes() / duration
+        builder.workload(flow(f"client{index}", f"server{index}",
+                              key=f"f{index}"))
+    builder.workload(custom("metadata", collect=_metadata_rate,
+                            needs=(BULK_PLANE,)))
+    return builder.deploy(machines=hosts, seed=seed, duration=duration)
+
+
+@campaign_factory("fig3")
+def campaign(duration: float = _DURATION):
+    """The Figure-3 sweep: measured (containers, flows) cells × hosts."""
+    from repro.campaign import Campaign
+    return (Campaign("fig3")
+            .scenario(point_scenario)
+            .grid(containers=sorted({c for c, _f in CONFIGS}),
+                  flows=sorted({f for _c, f in CONFIGS}),
+                  hosts=HOSTS,
+                  duration=[duration])
+            .seeds([_SEED])
+            .backends("kollaps")
+            .exclude(lambda point: (point.params_dict()["containers"],
+                                    point.params_dict()["flows"])
+                     not in CONFIGS))
 
 
 def compute_results(duration: float = _DURATION
                     ) -> Dict[Tuple[int, int, int], float]:
-    results = {}
-    for containers, flows in CONFIGS:
-        for hosts in HOSTS:
-            results[(containers, flows, hosts)] = run_config(
-                containers, flows, hosts, duration)
-    return results
+    """(containers, flows, hosts) -> metadata bytes/s, via the campaign."""
+    sweep = campaign(duration).run(jobs=1)
+    return {(containers, flows, hosts):
+            sweep.run_for(containers=containers, flows=flows,
+                          hosts=hosts).metric("metadata").value
+            for containers, flows in CONFIGS for hosts in HOSTS}
 
 
 @experiment("fig3")

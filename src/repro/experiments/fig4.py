@@ -5,54 +5,84 @@ clients per region (each server handles two local clients and one remote),
 deployed over 1, 2, 4, 8 and 16 physical hosts.  Aggregate client
 throughput stays flat as hosts are added (left plot), and per-host
 metadata traffic stays in the tens of KB/s (right plot).
+
+The hosts × connections fan-out is a campaign: :func:`campaign` is the
+one grid definition, the memtier cluster installs through a ``custom``
+workload (the Figure 10 pattern), and the serial runner drives
+``Campaign.run(jobs=1)`` — so ``repro campaign run fig4`` (or a
+distributed fleet) executes exactly the reproduction's code path.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.apps import KvServer, MemtierClient
-from repro.experiments.base import ExperimentResult, experiment, scenario_engine
-from repro.sim import RngRegistry
+from repro.experiments.base import ExperimentResult, campaign_factory, \
+    experiment
+from repro.scenario import custom
 from repro.scenario.topologies import aws_mesh
+from repro.sim import RngRegistry
 
 REGIONS = ["virginia", "oregon", "ireland", "saopaulo"]
 HOSTS = [1, 2, 4, 8, 16]
 _DURATION = 10.0
+_SEED = 51
 
 
-def run_deployment(hosts: int, connections: int,
-                   duration: float = _DURATION) -> Tuple[float, float]:
-    """(aggregate ops/s, mean per-host metadata bytes/s)."""
-    scenario = aws_mesh(REGIONS, services_per_region=4,
-                        service_prefix="node")
-    engine = scenario_engine(scenario, machines=hosts, seed=51)
-    rng = RngRegistry(51)
-    clients = []
-    for index, region in enumerate(REGIONS):
-        server = KvServer(engine.sim, engine.dataplane,
-                          f"node-{region}-0")
-        # Two local clients plus one from the next region over.
-        sources = [f"node-{region}-1", f"node-{region}-2",
-                   f"node-{REGIONS[(index + 1) % len(REGIONS)]}-3"]
-        for source in sources:
-            clients.append(MemtierClient(
-                engine.sim, engine.dataplane, source, server,
-                connections=connections,
-                rng=rng.stream(f"memtier:{source}")))
-    engine.run(until=duration)
-    aggregate = sum(client.stats.throughput(duration) for client in clients)
-    metadata = engine.total_metadata_wire_bytes() / duration / hosts
-    return aggregate, metadata
+def point_scenario(*, hosts: int, connections: int,
+                   duration: float = _DURATION, seed: int = _SEED):
+    """One Figure-4 scenario builder — the campaign's point factory."""
+
+    def install(engine):
+        from repro.apps import KvServer, MemtierClient
+        rng = RngRegistry(seed)
+        clients = []
+        for index, region in enumerate(REGIONS):
+            server = KvServer(engine.sim, engine.dataplane,
+                              f"node-{region}-0")
+            # Two local clients plus one from the next region over.
+            sources = [f"node-{region}-1", f"node-{region}-2",
+                       f"node-{REGIONS[(index + 1) % len(REGIONS)]}-3"]
+            for source in sources:
+                clients.append(MemtierClient(
+                    engine.sim, engine.dataplane, source, server,
+                    connections=connections,
+                    rng=rng.stream(f"memtier:{source}")))
+        return clients
+
+    def collect_ops(engine, until, clients) -> float:
+        return sum(client.stats.throughput(until) for client in clients)
+
+    def collect_metadata(engine, until, _state) -> float:
+        return engine.total_metadata_wire_bytes() / until / hosts
+
+    return (aws_mesh(REGIONS, services_per_region=4, service_prefix="node")
+            .workload(custom("ops", install, collect=collect_ops))
+            .workload(custom("metadata", collect=collect_metadata))
+            .deploy(machines=hosts, seed=seed, duration=duration))
+
+
+@campaign_factory("fig4")
+def campaign(duration: float = _DURATION):
+    """The Figure-4 sweep: host counts × connections per client."""
+    from repro.campaign import Campaign
+    return (Campaign("fig4")
+            .scenario(point_scenario)
+            .grid(hosts=HOSTS, connections=[1, 10], duration=[duration])
+            .seeds([_SEED])
+            .backends("kollaps"))
 
 
 def compute_results(duration: float = _DURATION
                     ) -> Dict[Tuple[int, int], Tuple[float, float]]:
+    """(hosts, connections) -> (aggregate ops/s, per-host metadata B/s)."""
+    sweep = campaign(duration).run(jobs=1)
     results = {}
     for hosts in HOSTS:
         for connections in (1, 10):
-            results[(hosts, connections)] = run_deployment(
-                hosts, connections, duration)
+            run = sweep.run_for(hosts=hosts, connections=connections)
+            results[(hosts, connections)] = (run.metric("ops").value,
+                                             run.metric("metadata").value)
     return results
 
 

@@ -12,6 +12,7 @@ from repro.orchestration.generator import (
     DeploymentGenerator,
     DeploymentPlan,
     KOLLAPS_TAG,
+    campaign_fleet_plan,
 )
 from repro.orchestration.bootstrap import SwarmBootstrapper
 from repro.orchestration.discovery import (
@@ -32,6 +33,7 @@ __all__ = [
     "DeploymentPlan",
     "KOLLAPS_TAG",
     "SwarmBootstrapper",
+    "campaign_fleet_plan",
     "Endpoint",
     "KubernetesDiscovery",
     "ResolutionError",

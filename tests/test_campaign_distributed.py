@@ -1,0 +1,587 @@
+"""Tests for distributed campaign execution: leases, shards, fleet, GC.
+
+The acceptance contract: a fleet run (coordinator + N workers over the
+shared-file control plane) produces the byte-identical aggregate of a
+serial ``Campaign.run(jobs=1)``; a worker that dies mid-lease has its
+unfinished points reassigned and the sweep still completes; and
+``ResultStore.compact()`` reclaims superseded records and merged shards
+without changing the aggregate.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.campaign import Campaign, ResultStore, run_fleet
+from repro.campaign.distributed import (
+    Coordinator,
+    FleetEvent,
+    FleetPaths,
+    LeaseTable,
+    ShardReader,
+    ShardStore,
+    Worker,
+    ensure_quiescent,
+    shard_path,
+)
+from repro.campaign.grid import CampaignError
+from repro.cluster import Cluster
+from repro.dashboard import FleetMonitor
+from repro.scenario import Scenario, flow
+
+RATES = [1e6, 2e6]
+
+
+# --------------------------------------------------------------------------
+# Factories (module-level: fleet CLI subprocesses resolve them by module).
+# --------------------------------------------------------------------------
+def pair(*, rate, seed=0):
+    return (Scenario.build("pair")
+            .service("a").service("b")
+            .link("a", "b", latency="1ms", up=rate)
+            .workload(flow("a", "b", key="bulk"))
+            .deploy(seed=seed, duration=2.0))
+
+
+def sweep(name="dist-sweep") -> Campaign:
+    """2 rates x 2 seeds x 2 backends = 8 points."""
+    return (Campaign(name)
+            .scenario(pair)
+            .grid(rate=RATES)
+            .seeds(2)
+            .backends("kollaps", "baremetal"))
+
+
+@pytest.fixture(scope="module")
+def serial_markdown():
+    """The reference aggregate every distributed run must reproduce."""
+    return sweep().run(jobs=1).aggregate().to_markdown()
+
+
+# --------------------------------------------------------------------------
+# Lease bookkeeping (fake clock, no I/O).
+# --------------------------------------------------------------------------
+class TestLeaseTable:
+    def table(self, timeout=10.0, completed=()):
+        return LeaseTable(sweep().points(), timeout=timeout,
+                          completed=completed)
+
+    def test_pending_follows_shard_order(self):
+        points = sweep().points()
+        table = self.table()
+        assert table.pending == [point.digest() for point in points]
+
+    def test_grant_batches_in_order_one_lease_per_worker(self):
+        table = self.table()
+        first = table.grant("w1", now=0.0, size=3)
+        assert [*first.digests] == [p.digest() for p in sweep().points()[:3]]
+        assert table.grant("w1", now=0.0, size=3) is None  # already holds one
+        second = table.grant("w2", now=0.0, size=3)
+        assert set(first.digests).isdisjoint(second.digests)
+        assert len(table.pending) == 8 - 6
+
+    def test_heartbeat_extends_deadline(self):
+        table = self.table(timeout=10.0)
+        lease = table.grant("w1", now=0.0, size=2)
+        assert lease.deadline == 10.0
+        assert table.heartbeat("w1", now=8.0)
+        assert not table.expire(now=15.0)          # renewed to 18.0
+        assert table.expire(now=18.5)
+
+    def test_expiry_requeues_unfinished_in_shard_order(self):
+        table = self.table(timeout=5.0)
+        lease = table.grant("w1", now=0.0, size=4)
+        table.complete(lease.digests[1])
+        expired = table.expire(now=6.0)
+        assert [l.worker for l in expired] == ["w1"]
+        # The completed digest must not be requeued; order is shard order.
+        expected = [d for d in (p.digest() for p in sweep().points())
+                    if d != lease.digests[1]]
+        assert table.pending == expected
+        # Reassignment: the next grant hands the orphaned work out again.
+        lease2 = table.grant("w2", now=6.0, size=8)
+        assert lease.digests[0] in lease2.digests
+
+    def test_heartbeat_without_lease_reports_loss(self):
+        table = self.table(timeout=1.0)
+        table.grant("w1", now=0.0, size=2)
+        table.expire(now=5.0)
+        assert table.heartbeat("w1", now=5.1) is False
+
+    def test_completion_closes_drained_lease_and_done(self):
+        table = self.table()
+        lease = table.grant("w1", now=0.0, size=8)
+        for digest in lease.digests:
+            assert table.complete(digest)
+        assert table.lease_of("w1") is None
+        assert table.done()
+        assert not table.complete(lease.digests[0])    # duplicate merge
+
+    def test_resume_skips_completed(self):
+        done = [p.digest() for p in sweep().points()[:5]]
+        table = self.table(completed=done)
+        assert table.remaining() == 3
+        lease = table.grant("w1", now=0.0, size=10)
+        assert len(lease.digests) == 3
+
+    def test_release_requeues(self):
+        table = self.table()
+        lease = table.grant("w1", now=0.0, size=3)
+        table.release("w1")
+        assert table.pending[0] == lease.digests[0]
+        assert table.lease_of("w1") is None
+
+
+# --------------------------------------------------------------------------
+# Shard stores and incremental tailing.
+# --------------------------------------------------------------------------
+class TestShards:
+    def test_worker_id_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="worker id"):
+            shard_path(str(tmp_path), "../evil")
+
+    def test_append_load_roundtrip(self, tmp_path):
+        shard = ShardStore(str(tmp_path), "w1")
+        shard.append({"hash": "abc", "status": "ok"})
+        shard.append({"hash": "abc", "status": "error"})
+        shard.append({"hash": "def", "status": "ok"})
+        records = shard.load()
+        assert records["abc"]["status"] == "error"      # last wins
+        assert set(records) == {"abc", "def"}
+
+    def test_corrupt_tail_tolerated(self, tmp_path):
+        shard = ShardStore(str(tmp_path), "w1")
+        shard.append({"hash": "abc", "status": "ok"})
+        with open(shard.path, "a", encoding="utf-8") as handle:
+            handle.write('{"hash": "torn", "stat')       # killed mid-write
+        assert set(shard.load()) == {"abc"}
+
+    def test_reader_is_incremental(self, tmp_path):
+        shard = ShardStore(str(tmp_path), "w1")
+        reader = ShardReader(shard.path)
+        assert reader.poll() == []
+        shard.append({"hash": "a1", "status": "ok"})
+        assert [digest for digest, _r in reader.poll()] == ["a1"]
+        assert reader.poll() == []
+        shard.append({"hash": "b2", "status": "ok"})
+        shard.append({"hash": "c3", "status": "ok"})
+        assert [digest for digest, _r in reader.poll()] == ["b2", "c3"]
+
+    def test_reader_waits_for_unterminated_tail(self, tmp_path):
+        path = str(tmp_path / "w.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"hash": "a1", "status": "ok"}\n')
+            handle.write('{"hash": "b2", "st')            # mid-write
+        reader = ShardReader(path)
+        assert [digest for digest, _r in reader.poll()] == ["a1"]
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('atus": "ok"}\n')                # write completes
+        assert [digest for digest, _r in reader.poll()] == ["b2"]
+
+    def test_reader_skips_garbage_line(self, tmp_path):
+        path = str(tmp_path / "w.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json at all\n"
+                         '{"hash": "ok1", "status": "ok"}\n')
+        assert [digest for digest, _r in ShardReader(path).poll()] == ["ok1"]
+
+
+# --------------------------------------------------------------------------
+# Store bulk writes and compaction.
+# --------------------------------------------------------------------------
+class TestStoreMaintenance:
+    def test_append_many_matches_appends(self, tmp_path):
+        one = ResultStore(str(tmp_path / "one"))
+        many = ResultStore(str(tmp_path / "many"))
+        records = [{"hash": f"h{i}", "status": "ok", "i": i}
+                   for i in range(5)]
+        for record in records:
+            one.append(record)
+        assert many.append_many(records) == 5
+        with open(one.results_path) as a, open(many.results_path) as b:
+            assert a.read() == b.read()
+
+    def test_append_many_empty_is_noop(self, tmp_path):
+        store = ResultStore(str(tmp_path / "empty"))
+        assert store.append_many([]) == 0
+        assert not os.path.exists(store.results_path)
+
+    def test_append_many_requires_hash(self, tmp_path):
+        store = ResultStore(str(tmp_path / "bad"))
+        with pytest.raises(ValueError, match="hash"):
+            store.append_many([{"status": "ok"}])
+
+    def test_compact_drops_superseded_and_reports(self, tmp_path):
+        store = ResultStore(str(tmp_path / "c"))
+        store.append({"hash": "a", "status": "error", "try": 1})
+        store.append({"hash": "a", "status": "ok", "try": 2})
+        store.append({"hash": "b", "status": "ok"})
+        report = store.compact()
+        assert report["records_kept"] == 2
+        assert report["records_dropped"] == 1
+        assert report["bytes_reclaimed"] > 0
+        assert store.load()["a"]["try"] == 2
+
+    def test_compact_salvages_unmerged_shard_records(self, tmp_path):
+        store = ResultStore(str(tmp_path / "c"))
+        store.append({"hash": "a", "status": "ok", "origin": "canonical"})
+        shard = ShardStore(store.directory, "w1")
+        shard.append({"hash": "a", "status": "ok", "origin": "shard"})
+        shard.append({"hash": "b", "status": "ok", "origin": "shard"})
+        report = store.compact()
+        records = store.load()
+        # Canonical wins for merged hashes; unmerged ones are adopted.
+        assert records["a"]["origin"] == "canonical"
+        assert records["b"]["origin"] == "shard"
+        assert report["records_salvaged"] == 1
+        assert report["shards_removed"] == 1
+        assert store.shard_paths() == []
+
+    def test_compact_is_idempotent_and_preserves_aggregate(self, tmp_path,
+                                                           serial_markdown):
+        store_root = str(tmp_path)
+        campaign = sweep()
+        campaign.run(jobs=1, store=store_root)
+        campaign.run(jobs=1, store=store_root, resume=False)   # supersede
+        store = ResultStore(os.path.join(store_root, campaign.name))
+        before = sweep().load(store_root).aggregate().to_markdown()
+        report = store.compact()
+        assert report["records_dropped"] == 8          # one stale run
+        after = sweep().load(store_root).aggregate().to_markdown()
+        assert before == after == serial_markdown
+        again = store.compact()
+        assert again["records_dropped"] == 0
+        assert again["bytes_reclaimed"] == 0
+
+    def test_compact_refused_while_fleet_serves(self, tmp_path):
+        store = ResultStore(str(tmp_path / "busy"))
+        coordinator = Coordinator(sweep(), store, lease_timeout=30.0)
+        coordinator.start()
+        with pytest.raises(CampaignError, match="serving"):
+            ensure_quiescent(store)
+        ensure_quiescent(store, force=True)            # operator override
+
+
+# --------------------------------------------------------------------------
+# The fleet itself (coordinator + worker threads over the file protocol).
+# --------------------------------------------------------------------------
+class TestFleet:
+    def test_fleet_matches_serial_aggregate(self, tmp_path, serial_markdown):
+        events = []
+        result = run_fleet(sweep(), workers=2, store=str(tmp_path),
+                           lease_size=2, lease_timeout=30.0, timeout=120.0,
+                           progress=events.append)
+        assert len(result) == 8 and not result.failed()
+        assert result.aggregate().to_markdown() == serial_markdown
+        store = ResultStore(os.path.join(str(tmp_path), "dist-sweep"))
+        assert len(store.load()) == 8
+        assert len(store.shard_paths()) == 2
+        # Every merge must carry the headline rows the live-delta pane
+        # feeds on: (backend label, workload, value).
+        merges = [event for event in events if event.kind == "merge"]
+        assert len(merges) == 8
+        assert all(event.rows for event in merges)
+        backends = {row[0] for event in merges for row in event.rows}
+        assert backends == {"kollaps", "baremetal"}
+        assert {row[1] for event in merges for row in event.rows} == {"bulk"}
+
+    def test_distributed_parallel_serial_all_byte_identical(
+            self, tmp_path, serial_markdown):
+        """The acceptance criterion, all three execution modes at once."""
+        parallel = sweep().run(jobs=2, store=str(tmp_path / "pool"))
+        assert parallel.aggregate().to_markdown() == serial_markdown
+        fleet = run_fleet(sweep(), workers=2, store=str(tmp_path / "fleet"),
+                          lease_size=2, timeout=120.0)
+        assert fleet.aggregate().to_markdown() == serial_markdown
+
+    def test_dead_worker_lease_reassigned(self, tmp_path, serial_markdown):
+        events = []
+        result = run_fleet(sweep(), workers=2, store=str(tmp_path),
+                           lease_size=3, lease_timeout=1.0, timeout=120.0,
+                           fail_after={0: 1}, progress=events.append)
+        assert not result.failed() and len(result) == 8
+        assert result.aggregate().to_markdown() == serial_markdown
+        kinds = [event.kind for event in events]
+        assert "expire" in kinds                       # the death was seen
+        merges = [event.worker for event in events if event.kind == "merge"]
+        assert merges.count("local-0") == 1            # died after one point
+        assert merges.count("local-1") == 7            # survivor took over
+
+    def test_fleet_resumes_from_store(self, tmp_path):
+        run_fleet(sweep(), workers=2, store=str(tmp_path), timeout=120.0)
+        events = []
+        result = run_fleet(sweep(), workers=2, store=str(tmp_path),
+                           timeout=30.0, progress=events.append)
+        assert result.skipped == 8
+        assert not [event for event in events if event.kind == "merge"]
+
+    def test_fresh_fleet_reexecutes_despite_leftover_shards(self, tmp_path,
+                                                           serial_markdown):
+        """A --fresh rerun must not let run-1's shard files satisfy it."""
+        run_fleet(sweep(), workers=2, store=str(tmp_path), timeout=120.0)
+        events = []
+        result = run_fleet(sweep(), workers=2, store=str(tmp_path),
+                           resume=False, timeout=120.0,
+                           progress=events.append)
+        merges = [event for event in events if event.kind == "merge"]
+        assert len(merges) == 8                # every point ran again
+        assert result.skipped == 0
+        assert result.aggregate().to_markdown() == serial_markdown
+
+    def test_resume_salvages_unmerged_ok_and_retries_stale_error(
+            self, tmp_path, serial_markdown):
+        """Shard records a dead coordinator never merged: ok records are
+        adopted without re-execution, error records are retried."""
+        campaign = sweep()
+        store = campaign._store(str(tmp_path))
+        points = campaign.points()
+        # Simulate a crashed fleet: results only in a worker's shard.
+        shard = ShardStore(store.directory, "ghost")
+        ok_point = points[0]
+        shard.append(campaign.run_point(ok_point).to_record())
+        error_point = points[1]
+        error_record = campaign.run_point(error_point).to_record()
+        error_record["status"] = "error"
+        error_record["error"] = "host lost power"
+        shard.append(error_record)
+
+        events = []
+        result = run_fleet(campaign, workers=2, store=str(tmp_path),
+                           timeout=120.0, progress=events.append)
+        assert result.aggregate().to_markdown() == serial_markdown
+        merged = [event.point.digest() for event in events
+                  if event.kind == "merge"]
+        assert ok_point.digest() not in merged      # salvaged, not re-run
+        assert error_point.digest() in merged       # retried
+        assert len(merged) == 7
+        assert store.load()[error_point.digest()]["status"] == "ok"
+
+    def test_idle_steps_do_not_rewrite_state(self, tmp_path):
+        from repro.campaign.distributed.protocol import read_json
+        store = ResultStore(str(tmp_path / "idle"))
+        coordinator = Coordinator(sweep(), store)
+        coordinator.start()
+        coordinator.step(now=0.0)
+        seq = read_json(coordinator.paths.state)["seq"]
+        for tick in range(5):
+            coordinator.step(now=float(tick + 1))
+        assert read_json(coordinator.paths.state)["seq"] == seq
+
+    def test_cluster_bounds_working_workers(self, tmp_path, serial_markdown):
+        events = []
+        result = run_fleet(sweep(), workers=2, store=str(tmp_path),
+                           cluster=Cluster(1), lease_size=2,
+                           lease_timeout=30.0, timeout=120.0,
+                           progress=events.append)
+        assert not result.failed()
+        assert result.aggregate().to_markdown() == serial_markdown
+        assert any(event.kind == "wait" for event in events)
+        workers = {event.worker for event in events
+                   if event.kind == "lease"}
+        assert len(workers) == 1                       # one machine, one slot
+
+    def test_coordinator_timeout_without_workers(self, tmp_path):
+        store = ResultStore(str(tmp_path / "lonely"))
+        coordinator = Coordinator(sweep(), store)
+        with pytest.raises(TimeoutError, match="outstanding"):
+            coordinator.serve(poll=0.01, timeout=0.1)
+
+    def test_worker_timeout_without_coordinator(self, tmp_path):
+        worker = Worker(sweep(), str(tmp_path), "w1")
+        with pytest.raises(TimeoutError, match="coordinator"):
+            worker.run(poll=0.01, timeout=0.1)
+
+    def test_fleet_needs_a_worker(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one worker"):
+            run_fleet(sweep(), workers=0, store=str(tmp_path))
+
+
+# --------------------------------------------------------------------------
+# The dashboard's fleet pane.
+# --------------------------------------------------------------------------
+class TestFleetMonitor:
+    def feed(self, monitor):
+        point = sweep().points()[0]
+        monitor(FleetEvent(kind="serve", time=0.0, count=8))
+        monitor(FleetEvent(kind="join", time=0.1, worker="w1",
+                           detail="host-0"))
+        monitor(FleetEvent(kind="lease", time=0.2, worker="w1",
+                           lease_id=1, count=4))
+        monitor(FleetEvent(kind="merge", time=1.0, worker="w1", point=point,
+                           status="ok", count=1,
+                           rows=(("kollaps", "bulk", 2.0e6),)))
+        monitor(FleetEvent(kind="merge", time=2.0, worker="w1", point=point,
+                           status="ok", count=2,
+                           rows=(("kollaps", "bulk", 1.0e6),)))
+
+    def test_tracks_workers_and_aggregate_deltas(self):
+        monitor = FleetMonitor()
+        self.feed(monitor)
+        assert monitor.total == 8 and monitor.completed == 2
+        count, mean, delta = monitor.aggregates[("kollaps", "bulk")]
+        assert (count, mean) == (2, 1.5e6)
+        assert delta == pytest.approx(-0.5e6)
+        pane = monitor.render()
+        assert "w1 on host-0: live, lease #1 2/4" in pane
+        assert "bulk@kollaps: mean 1.5e+06 over 2" in pane
+
+    def test_expiry_marks_suspect_until_heartbeat(self):
+        monitor = FleetMonitor(total=8)
+        self.feed(monitor)
+        monitor(FleetEvent(kind="expire", time=3.0, worker="w1", lease_id=1,
+                           detail="2 points back in the queue"))
+        assert monitor.workers["w1"]["status"] == "suspect"
+        monitor(FleetEvent(kind="heartbeat", time=4.0, worker="w1", count=9))
+        assert monitor.workers["w1"]["status"] == "live"
+
+    def test_streams_feed_lines(self):
+        import io
+        stream = io.StringIO()
+        monitor = FleetMonitor(stream=stream)
+        self.feed(monitor)
+        feed = stream.getvalue()
+        assert "w1 leased 4 points (lease 1)" in feed
+        assert "[2/8] ok" in feed
+
+
+# --------------------------------------------------------------------------
+# CLI verbs.
+# --------------------------------------------------------------------------
+CAMPAIGN_MODULE = '''
+from repro.campaign import Campaign
+from repro.scenario import Scenario, flow
+
+
+def pair(*, rate, seed=0):
+    return (Scenario.build("pair")
+            .service("a").service("b")
+            .link("a", "b", latency="1ms", up=rate)
+            .workload(flow("a", "b", key="bulk"))
+            .deploy(seed=seed, duration=2.0))
+
+
+CAMPAIGN = (Campaign("cli-fleet")
+            .scenario(pair)
+            .grid(rate=[1e6, 2e6])
+            .seeds(1)
+            .backends("kollaps"))
+'''
+
+
+@pytest.fixture
+def campaign_file(tmp_path):
+    path = tmp_path / "fleet_campaign.py"
+    path.write_text(CAMPAIGN_MODULE)
+    return str(path)
+
+
+class TestFleetCli:
+    def test_fleet_runs_locally(self, campaign_file, tmp_path, capsys):
+        from repro.cli import main
+        store = str(tmp_path / "campaigns")
+        assert main(["campaign", "fleet", campaign_file, "--store", store,
+                     "--workers", "2", "--poll", "0.02",
+                     "--timeout", "120", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out and "2 ok" in out
+        assert os.path.exists(os.path.join(store, "cli-fleet",
+                                           "results.jsonl"))
+
+    def test_fleet_emits_swarm_plan(self, campaign_file, capsys):
+        from repro.cli import main
+        assert main(["campaign", "fleet", campaign_file,
+                     "--workers", "3", "--plan", "swarm"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign-coordinator" in out
+        assert "replicas: 3" in out
+        assert "campaigns:/campaigns" in out
+
+    def test_fleet_emits_kubernetes_plan(self, campaign_file, capsys):
+        from repro.cli import main
+        assert main(["campaign", "fleet", campaign_file,
+                     "--workers", "2", "--plan", "kubernetes"]) == 0
+        out = capsys.readouterr().out
+        assert "PersistentVolumeClaim" in out
+        assert "parallelism: 2" in out
+
+    def test_compact_cli(self, campaign_file, tmp_path, capsys):
+        from repro.cli import main
+        store = str(tmp_path / "campaigns")
+        assert main(["campaign", "run", campaign_file, "--store", store,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "compact", campaign_file,
+                     "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "kept 2 record(s)" in out
+        assert main(["campaign", "report", campaign_file,
+                     "--store", store]) == 0   # still readable after GC
+
+    def test_compact_cli_refuses_live_fleet(self, campaign_file, tmp_path,
+                                            capsys):
+        from repro.cli import main
+        from repro.campaign import load_campaign
+        store = str(tmp_path / "campaigns")
+        campaign = load_campaign(campaign_file)
+        coordinator = Coordinator(
+            campaign, ResultStore(os.path.join(store, campaign.name)))
+        coordinator.start()
+        assert main(["campaign", "compact", campaign_file,
+                     "--store", store]) == 1
+        assert "serving" in capsys.readouterr().err
+        assert main(["campaign", "compact", campaign_file,
+                     "--store", store, "--force"]) == 0
+
+
+# --------------------------------------------------------------------------
+# Orchestration: the fleet deployment documents.
+# --------------------------------------------------------------------------
+class TestFleetPlan:
+    def test_swarm_plan_shape(self):
+        from repro.orchestration import campaign_fleet_plan
+        plan = campaign_fleet_plan("table2", 4, orchestrator="swarm")
+        services = plan.document["services"]
+        assert services["campaign-worker"]["deploy"]["replicas"] == 4
+        assert "serve" in services["campaign-coordinator"]["command"]
+        assert "work" in services["campaign-worker"]["command"]
+        assert not plan.needs_bootstrapper
+        assert plan.placement["campaign-coordinator"] == "host-0"
+
+    def test_kubernetes_plan_shape(self):
+        from repro.orchestration import campaign_fleet_plan, render_plan
+        plan = campaign_fleet_plan("table2", 2, orchestrator="kubernetes")
+        kinds = [item["kind"] for item in plan.document["items"]]
+        assert kinds == ["PersistentVolumeClaim", "Job", "Job"]
+        text = render_plan(plan)
+        assert "parallelism: 2" in text
+
+    def test_rejects_bad_shapes(self):
+        from repro.orchestration import campaign_fleet_plan
+        with pytest.raises(ValueError, match="at least one worker"):
+            campaign_fleet_plan("table2", 0)
+        with pytest.raises(ValueError, match="unknown orchestrator"):
+            campaign_fleet_plan("table2", 1, orchestrator="nomad")
+
+
+# --------------------------------------------------------------------------
+# Control-plane files.
+# --------------------------------------------------------------------------
+class TestProtocol:
+    def test_atomic_write_and_read(self, tmp_path):
+        from repro.campaign.distributed.protocol import read_json, write_json
+        path = str(tmp_path / "doc.json")
+        assert read_json(path) is None
+        write_json(path, {"x": 1})
+        assert read_json(path) == {"x": 1}
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"torn')
+        assert read_json(path) is None                 # unparseable = absent
+
+    def test_fleet_paths_and_join_listing(self, tmp_path):
+        from repro.campaign.distributed.protocol import write_json
+        paths = FleetPaths(str(tmp_path))
+        write_json(paths.worker("w2"), {"worker": "w2"})
+        write_json(paths.worker("w1"), {"worker": "w1"})
+        assert list(paths.joined_workers()) == ["w1", "w2"]

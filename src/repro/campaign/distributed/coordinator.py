@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import time
+import uuid
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -42,6 +43,15 @@ from repro.campaign.distributed.shards import (
 )
 
 __all__ = ["Coordinator", "FleetEvent", "WorkerState"]
+
+#: How many timeouts of patience heartbeats alone can buy in
+#: :meth:`Coordinator.serve`.  A slow healthy point and a wedged one are
+#: indistinguishable from heartbeats (the pulse thread beats through
+#: both), so liveness extends the no-progress deadline — but only up to
+#: this multiple of ``timeout`` without a completed point or an advance
+#: of any worker's executed counter, after which an explicitly
+#: time-bounded sweep raises instead of hanging on a wedge forever.
+LIVENESS_PATIENCE = 3
 
 
 @dataclass(frozen=True)
@@ -72,9 +82,21 @@ class WorkerState:
 
     worker: str
     machine: Optional[str] = None       # None: waiting for cluster capacity
-    status: str = "waiting"             # "waiting" | "live" | "suspect"
+    # "joining": announced but no heartbeat observed yet (gets neither a
+    # machine nor a lease — the join doc may be a dead fleet's leftover);
+    # "waiting": alive but no machine free in the cluster.
+    status: str = "joining"             # "joining" | "waiting" | "live"
+                                        # | "suspect"
     last_seen: float = 0.0
+    #: The worker process's boot marker: a restart (same id, new
+    #: process) restarts the heartbeat seq, so the high-water mark only
+    #: means anything within one incarnation.
+    incarnation: str = ""
     heartbeat_seq: int = -1
+    #: Highest executed-counter seen in this worker's heartbeats —
+    #: advances only when the worker finishes points, which is what
+    #: separates slow progress from a wedge that merely heartbeats.
+    executed_seen: int = -1
     lease_seq: int = 0
     reader: Optional[ShardReader] = None
     completed: int = 0
@@ -115,6 +137,11 @@ class Coordinator:
         self.clock = clock
         self._notify = progress if progress is not None else lambda event: None
         self.paths = FleetPaths(store.directory)
+        #: Stamped into every lease document: worker ids recur across
+        #: runs (``local-0``…), so a worker must be able to tell a fresh
+        #: coordinator's lease (whose seq counter restarted) from a
+        #: stale one left behind by the previous run.
+        self.run_id = uuid.uuid4().hex[:12]
 
         self.points: List[Point] = campaign.points()
         self._by_digest: Dict[str, Point] = {point.digest(): point
@@ -129,6 +156,16 @@ class Coordinator:
         self._readers: Dict[str, ShardReader] = {}
         self._state_seq = 0
         self._last_published: Optional[Tuple] = None
+        self._published_at = float("-inf")
+        #: Observed heartbeat advances: serve() extends its deadline on
+        #: these (bounded by LIVENESS_PATIENCE), so one healthy point
+        #: longer than the timeout does not abort a provably live fleet.
+        self._liveness = 0
+        #: Observed *execution* progress: completed merges are counted
+        #: via the lease table; this adds executed-counter advances from
+        #: heartbeats, so a worker grinding through a big lease still
+        #: counts as progressing between merges.
+        self._progress = 0
         self._served = False
 
     # -------------------------------------------------------------- lifecycle
@@ -137,6 +174,7 @@ class Coordinator:
         if self._served:
             return
         self._served = True
+        self._reset_control_plane()
         self._adopt_leftover_shards()
         self.store.write_manifest(self.campaign.spec())
         self._publish("serving")
@@ -144,6 +182,30 @@ class Coordinator:
                                 count=len(self.points),
                                 detail=f"{len(self.resumed)} resumed "
                                        "from store"))
+
+    def _reset_control_plane(self) -> None:
+        """Clear the previous fleet's leases and heartbeats.
+
+        Lease and heartbeat documents only mean anything within one
+        coordinator run: a stale lease whose seq outruns this run's
+        restarted counter would make a rejoining worker ignore every
+        fresh grant, and a stale heartbeat seq would hide a dead
+        worker's silence.  A previous run's ``state.json`` goes too —
+        its ``done`` would make a freshly started worker exit before
+        this run grants anything (:meth:`start` republishes ``serving``
+        immediately).  Join documents stay — a live worker that joined
+        before the coordinator started never re-announces, and
+        admission waits for a fresh heartbeat anyway, so a dead fleet's
+        leftover join doc can never earn a machine or a lease.
+        """
+        for directory in (self.paths.leases_dir, self.paths.heartbeats_dir):
+            if not os.path.isdir(directory):
+                continue
+            for name in os.listdir(directory):
+                if name.endswith(".json"):
+                    os.remove(os.path.join(directory, name))
+        if os.path.exists(self.paths.state):
+            os.remove(self.paths.state)
 
     def _adopt_leftover_shards(self) -> None:
         """Settle shard files a previous fleet left behind.
@@ -184,20 +246,41 @@ class Coordinator:
               timeout: Optional[float] = None) -> CampaignResult:
         """Poll :meth:`step` until every point completes, then merge-close.
 
-        ``timeout`` (wall seconds) guards a fleet that never shows up —
-        it raises :class:`TimeoutError` rather than spinning forever.
+        ``timeout`` (seconds without fleet progress) guards a fleet that
+        never shows up or stops progressing — it raises
+        :class:`TimeoutError` rather than spinning forever.  Every merge
+        and every executed-counter advance fully resets the deadline, so
+        a steadily completing sweep of any length never trips it.
+        Heartbeats alone *extend* it too — a single healthy point
+        running longer than the timeout stays alive — but only up to
+        ``LIVENESS_PATIENCE``×``timeout`` without execution progress: a
+        wedged worker whose pulse keeps beating cannot hang an
+        explicitly time-bounded sweep forever.
         """
         self.start()
-        deadline = None if timeout is None else self.clock() + timeout
+        now = self.clock()
+        deadline = None if timeout is None else now + timeout
+        hard = None if timeout is None else now + LIVENESS_PATIENCE * timeout
+        progressed = (len(self.table.completed), self._progress)
+        alive = self._liveness
         while not self.done():
             self.step(self.clock())
             if self.done():
                 break
-            if deadline is not None and self.clock() > deadline:
+            now = self.clock()
+            if (len(self.table.completed), self._progress) != progressed:
+                progressed = (len(self.table.completed), self._progress)
+                if timeout is not None:
+                    deadline = now + timeout
+                    hard = now + LIVENESS_PATIENCE * timeout
+            elif self._liveness != alive and timeout is not None:
+                deadline = min(now + timeout, hard)
+            alive = self._liveness
+            if deadline is not None and now > deadline:
                 self._publish("serving")
                 raise TimeoutError(
                     f"campaign {self.campaign.name!r} fleet made no "
-                    f"progress to completion within {timeout:g}s "
+                    f"execution progress for {timeout:g}s "
                     f"({self.table.remaining()} points outstanding)")
             time.sleep(poll)
         return self.finish()
@@ -230,7 +313,7 @@ class Coordinator:
         self._merge_shards(now)
         self._expire(now)
         self._grant(now)
-        self._publish("serving" if not self.done() else "draining")
+        self._publish("done" if self.done() else "serving")
 
     # ----------------------------------------------------------- admission
     def _admit(self, now: float) -> None:
@@ -241,9 +324,11 @@ class Coordinator:
             # keeps its offset, so stale records never re-merge.
             reader = self._readers.pop(worker, None) or ShardReader(
                 shard_path(self.store.directory, worker))
-            state = WorkerState(worker=worker, last_seen=now, reader=reader)
-            self.workers[worker] = state
-            self._place(state, now)
+            # Announced, not yet placed: a join doc alone may be a dead
+            # fleet's leftover, so the machine and the first lease wait
+            # for a heartbeat observed *this* run.
+            self.workers[worker] = WorkerState(worker=worker, last_seen=now,
+                                               reader=reader)
 
     def _place(self, state: WorkerState, now: float) -> None:
         """Give the worker a machine (cluster capacity) or leave it waiting."""
@@ -268,15 +353,33 @@ class Coordinator:
             document = read_json(self.paths.heartbeat(worker))
             if document is None:
                 continue
+            boot = str(document.get("boot", ""))
+            if boot != state.incarnation:
+                # A restarted worker (same id, new process): its seq and
+                # executed counters restarted, so both high-water marks
+                # reset with it — otherwise the rejoiner is muted
+                # forever (or its progress signal is).
+                state.incarnation = boot
+                state.heartbeat_seq = -1
+                state.executed_seen = -1
             seq = int(document.get("seq", -1))
             if seq <= state.heartbeat_seq:
                 continue
             state.heartbeat_seq = seq
+            self._liveness += 1
+            executed = int(document.get("executed", 0))
+            if executed > state.executed_seen:
+                state.executed_seen = executed
+                self._progress += 1
             state.last_seen = now
             self.table.heartbeat(worker, now)
             self._notify(FleetEvent(kind="heartbeat", time=now,
                                     worker=worker, count=seq))
-            if state.status == "suspect":
+            if state.status == "joining":
+                # First heartbeat observed: the worker is provably alive
+                # in this run, so it may now compete for a machine.
+                self._place(state, now)
+            elif state.status == "suspect":
                 # Back from the dead (a stall, not a crash): it lost its
                 # lease but may compete for a machine and new work again.
                 self._place(state, now)
@@ -292,6 +395,7 @@ class Coordinator:
                 state.machine = None
             write_json(self.paths.lease(lease.worker),
                        {"status": "revoked", "lease_id": lease.lease_id,
+                        "run": self.run_id,
                         "seq": state.lease_seq + 1 if state else 0})
             if state is not None:
                 state.lease_seq += 1
@@ -340,8 +444,10 @@ class Coordinator:
             write_json(self.paths.lease(worker), {
                 "status": "granted",
                 "lease_id": lease.lease_id,
+                "run": self.run_id,
                 "seq": state.lease_seq,
                 "deadline": lease.deadline,
+                "timeout": self.lease_timeout,
                 "points": [self._by_digest[digest].to_dict()
                            for digest in lease.digests],
             })
@@ -352,18 +458,28 @@ class Coordinator:
     # --------------------------------------------------------------- state
     def _publish(self, status: str) -> None:
         """Republish ``state.json`` only when its content would change —
-        an idle poll loop must not fsync the shared volume 5×/second."""
-        if self.done() and status != "serving":
-            status = "done"
+        an idle poll loop must not fsync the shared volume 5×/second.
+
+        It *is* refreshed at least once per ``min(lease_timeout, 15s)``
+        even when unchanged: workers treat any state advance as fleet
+        progress, so this bounded beat keeps an idle worker's
+        no-progress deadline renewing while a peer grinds through one
+        long point (a worker ``--timeout`` above ~15s is therefore
+        always safe, whatever the lease timeout).
+        """
+        now = self.clock()
         snapshot = (status, len(self.table.completed),
                     tuple(sorted(self.workers)))
-        if snapshot == self._last_published:
+        if snapshot == self._last_published \
+                and now - self._published_at < min(self.lease_timeout, 15.0):
             return
         self._last_published = snapshot
+        self._published_at = now
         self._state_seq += 1
         write_json(self.paths.state, {
             "status": status,
             "campaign": self.campaign.name,
+            "run": self.run_id,
             "seq": self._state_seq,
             "total": len(self.points),
             "completed": len(self.table.completed),

@@ -59,9 +59,13 @@ def run_fleet(campaign: Campaign, *,
     budgets = fail_after or {}
     threads = []
     for index in range(workers):
+        # The coordinator started (and republished state) before any
+        # worker spawns, so a "done" seen at worker startup is genuinely
+        # this run's — no need for the cross-host stale-done grace.
         worker = Worker(campaign, store_obj.directory,
                         f"local-{index}",
-                        max_points=budgets.get(index))
+                        max_points=budgets.get(index),
+                        stale_done_grace=0.0)
         thread = threading.Thread(
             target=worker.run,
             kwargs={"poll": poll, "timeout": timeout},

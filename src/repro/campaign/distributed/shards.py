@@ -14,7 +14,10 @@ A killed worker leaves at most one half-written trailing line in its
 shard; :class:`ShardReader` (like the store's own loader) skips it, and —
 because it might still be the *start* of a record an unkilled worker is
 mid-write — never advances its offset past an unterminated tail, so a
-slow multi-part write is read whole on a later poll.
+slow multi-part write is read whole on a later poll.  A worker reusing
+the shard (the same id rejoining after a kill) newline-terminates the
+torn fragment before its first append, so a fresh record is never glued
+onto it.
 """
 
 from __future__ import annotations
@@ -51,12 +54,42 @@ class ShardStore:
         self.directory = str(directory)
         self.worker = worker
         self.path = shard_path(self.directory, worker)
+        self._tail_checked = False
+
+    def _terminate_torn_tail(self) -> None:
+        """Newline-terminate a predecessor's unterminated last line.
+
+        A worker killed mid-``write(2)`` leaves its shard ending in a
+        partial line.  This process is now the single writer of that
+        file; appending a record straight after the fragment would glue
+        the two into one line that never parses — the fragment's point
+        *and* the new record would be lost to every reader, and the new
+        record's lease would never complete.  Terminating the fragment
+        turns it into an ordinary skippable garbage line instead.
+        """
+        try:
+            with open(self.path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except FileNotFoundError:
+            pass
 
     def append(self, record: Mapping) -> None:
         """Persist one point record durably (same framing as the canonical
         store, so merge and compaction treat the lines identically)."""
         line = encode_record(record)
         os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        if not self._tail_checked:
+            # Only a *previous* process can have torn the tail — within
+            # this one every append is a whole line — so check once.
+            self._terminate_torn_tail()
+            self._tail_checked = True
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line)
             handle.flush()

@@ -9,18 +9,24 @@ appends the records to its own shard file.  It never touches the
 canonical store: merging is the coordinator's job, which is what keeps
 every file single-writer.
 
-Heartbeats happen on every poll and before every point, so a lease stays
-live exactly as long as the worker makes progress; a worker that wedges
-mid-point stops heartbeating and loses the lease.  ``max_points`` is the
-built-in fault injection: the worker dies (stops heartbeating, abandons
-its lease) after executing that many points — how the tests and the CI
-mini-sweep simulate a host loss without actually provisioning one.
+Heartbeats happen on every idle poll and, while a lease executes, from a
+small background pulse thread — so a single point that runs longer than
+the lease timeout never gets a healthy worker declared dead and its
+in-flight points executed twice.  A worker that actually dies (crashed
+process, lost host) takes the pulse thread with it, stops heartbeating,
+and loses the lease.  ``max_points`` is the built-in fault injection:
+the worker dies (stops heartbeating, abandons its lease) after executing
+that many points — how the tests and the CI mini-sweep simulate a host
+loss without actually provisioning one.
 """
 
 from __future__ import annotations
 
 import os
+import re
+import threading
 import time
+import uuid
 from typing import Callable, Optional
 
 from repro.campaign.builder import Campaign
@@ -36,12 +42,24 @@ __all__ = ["Worker", "default_worker_id"]
 
 
 def default_worker_id() -> str:
-    """``<hostname>-<pid>`` — unique per process across fleet hosts."""
+    """``<hostname>-<pid>`` — unique per process across fleet hosts.
+
+    Always satisfies the shard-path worker-id grammar (starts with an
+    alphanumeric): odd hostnames are sanitized and, failing that, the
+    id falls back to ``worker-<pid>``.
+    """
     import socket
-    host = socket.gethostname().split(".")[0] or "worker"
-    safe = "".join(ch if ch.isalnum() or ch in "_-." else "-"
-                   for ch in host)
+    host = socket.gethostname().split(".")[0]
+    safe = re.sub(r"[^A-Za-z0-9_.\-]", "-", host).lstrip("_.-") or "worker"
     return f"{safe}-{os.getpid()}"
+
+
+def _state_signature(state: Optional[dict]) -> Optional[tuple]:
+    """What makes one published coordinator state distinguishable from
+    another — any change means the coordinator is (or was) alive now."""
+    if not state:
+        return None
+    return (state.get("status"), state.get("run"), state.get("seq"))
 
 
 class WorkerDied(RuntimeError):
@@ -53,6 +71,8 @@ class Worker:
 
     def __init__(self, campaign: Campaign, directory: str, worker_id: str, *,
                  max_points: Optional[int] = None,
+                 heartbeat_interval: float = 1.0,
+                 stale_done_grace: Optional[float] = None,
                  progress: Optional[Callable[[str], None]] = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         self.campaign = campaign
@@ -60,10 +80,18 @@ class Worker:
         self.paths = FleetPaths(directory)
         self.shard = ShardStore(directory, worker_id)
         self.max_points = max_points
+        self.heartbeat_interval = heartbeat_interval
+        self.stale_done_grace = stale_done_grace
         self.clock = clock
         self._notify = progress if progress is not None else lambda line: None
         self._heartbeat_seq = 0
+        self._heartbeat_lock = threading.Lock()
+        #: Stamped into every heartbeat: a worker restarted with the
+        #: same id restarts its seq counter, and the coordinator uses
+        #: the boot change (not raw seq ordering) to notice it is alive.
+        self._boot = uuid.uuid4().hex[:12]
         self._lease_seq = -1
+        self._run_id: Optional[str] = None
         self.executed = 0
 
     # ------------------------------------------------------------- plumbing
@@ -75,60 +103,171 @@ class Worker:
                      f"{self.paths.directory}")
 
     def heartbeat(self, *, lease_id: int = 0) -> None:
-        self._heartbeat_seq += 1
-        write_json(self.paths.heartbeat(self.worker_id),
-                   {"worker": self.worker_id, "seq": self._heartbeat_seq,
-                    "lease_id": lease_id, "executed": self.executed})
+        # Locked: the poll loop and the per-lease pulse thread both beat,
+        # and the seq must stay strictly monotonic for the coordinator.
+        with self._heartbeat_lock:
+            self._heartbeat_seq += 1
+            write_json(self.paths.heartbeat(self.worker_id),
+                       {"worker": self.worker_id, "boot": self._boot,
+                        "seq": self._heartbeat_seq,
+                        "lease_id": lease_id, "executed": self.executed})
 
-    def _coordinator_done(self) -> bool:
-        state = read_json(self.paths.state)
-        return bool(state) and state.get("status") == "done"
+    def _pulse(self, stop: threading.Event, lease_id: int,
+               interval: float) -> None:
+        """Keep the lease alive while ``run_point`` blocks the main thread.
+
+        A benchmark point can legitimately run far longer than the
+        coordinator's lease timeout; without this pulse the coordinator
+        would declare the worker dead mid-execution and hand its
+        in-flight points to someone else.  A crashed worker takes this
+        thread down with it, so actual death still expires the lease.
+        """
+        while not stop.wait(interval):
+            self.heartbeat(lease_id=lease_id)
+
+    def _next_lease(self, serving_run: Optional[str]) -> Optional[dict]:
+        """The freshest unseen lease document of the *serving* run.
+
+        ``serving_run`` is the run id of the currently published
+        ``serving`` state (None while no coordinator serves).  A live
+        coordinator always publishes its state before granting, so a
+        lease document from any other run is a dead fleet's leftover:
+        it is ignored entirely — never executed, never consumed — so a
+        worker started against a stale ``done`` directory does not burn
+        real benchmark time re-running the previous fleet's last grant.
+
+        One leftover *is* deliberately honoured: a ``serving`` state
+        whose run matches the lease.  It may come from a coordinator
+        that crashed mid-sweep, but it is indistinguishable from a live
+        idle coordinator whose grant is waiting for exactly this worker
+        (e.g. this worker restarting mid-run) — refusing it would
+        deadlock the live case, while executing the crashed case wastes
+        at most one batch whose records the next resume salvages from
+        the shard.
+
+        Within the serving run, a seq is only "new" once: a fresh
+        coordinator restarts its per-worker counters, so a run-id
+        change resets the high-water mark instead of muting every
+        grant of the new run.
+        """
+        if serving_run is None:
+            return None
+        lease = read_json(self.paths.lease(self.worker_id))
+        if lease is None or lease.get("run") != serving_run:
+            return None
+        if serving_run != self._run_id:
+            self._run_id = serving_run
+            self._lease_seq = -1
+        seq = int(lease.get("seq", -1))
+        if seq <= self._lease_seq:
+            return None
+        self._lease_seq = seq
+        return lease if lease.get("status") == "granted" else None
 
     # ------------------------------------------------------------ execution
     def _execute_lease(self, lease: dict) -> None:
         lease_id = int(lease.get("lease_id", 0))
         self._notify(f"worker {self.worker_id}: lease {lease_id} "
                      f"({len(lease.get('points', []))} points)")
-        for data in lease.get("points", []):
-            if self.max_points is not None \
-                    and self.executed >= self.max_points:
-                raise WorkerDied(
-                    f"worker {self.worker_id} died after "
-                    f"{self.executed} points (fault injection)")
-            self.heartbeat(lease_id=lease_id)
-            point = Point.from_dict(data)
-            result = self.campaign.run_point(point)
-            self.shard.append(result.to_record())
-            self.executed += 1
-            self.heartbeat(lease_id=lease_id)
-            self._notify(f"worker {self.worker_id}: [{result.status}] "
-                         f"{point.describe()} ({result.elapsed:.2f}s)")
+        # Pulse well inside the lease timeout (the coordinator stamps it
+        # into the grant) so a renewal always lands before expiry.
+        timeout = float(lease.get("timeout", 3 * self.heartbeat_interval))
+        interval = max(0.05, min(self.heartbeat_interval, timeout / 3.0))
+        stop = threading.Event()
+        pulse = threading.Thread(
+            target=self._pulse, args=(stop, lease_id, interval),
+            name=f"heartbeat-{self.worker_id}", daemon=True)
+        pulse.start()
+        try:
+            for data in lease.get("points", []):
+                if self.max_points is not None \
+                        and self.executed >= self.max_points:
+                    raise WorkerDied(
+                        f"worker {self.worker_id} died after "
+                        f"{self.executed} points (fault injection)")
+                self.heartbeat(lease_id=lease_id)
+                point = Point.from_dict(data)
+                result = self.campaign.run_point(point)
+                self.shard.append(result.to_record())
+                self.executed += 1
+                self.heartbeat(lease_id=lease_id)
+                self._notify(f"worker {self.worker_id}: [{result.status}] "
+                             f"{point.describe()} ({result.elapsed:.2f}s)")
+        finally:
+            # Stops on completion AND on fault-injected death: a dead
+            # worker must not keep its abandoned lease alive.
+            stop.set()
+            pulse.join()
 
     def run(self, *, poll: float = 0.2,
             timeout: Optional[float] = None) -> int:
         """Join, then work leases until the coordinator publishes *done*.
 
-        Returns the number of points executed.  ``timeout`` bounds the
-        total wall time (for a worker whose coordinator never appears);
-        fault injection exhausting ``max_points`` returns silently —
+        Returns the number of points executed.  ``timeout`` is a
+        *no-progress* deadline, matching the coordinator's: it resets
+        whenever the coordinator's state advances or this worker
+        finishes a lease, so a long but steadily progressing sweep is
+        never abandoned — only a coordinator that never appears (or a
+        fleet that stalls outright) trips it.
+
+        A ``done`` state already present when the worker starts may be
+        a *previous* run's leftover (a coordinator about to resume the
+        campaign clears it, but this worker may have been started
+        first).  Such a pre-existing ``done`` is trusted only after it
+        survives ``stale_done_grace`` seconds unchanged — the window an
+        operator has to start ``serve`` after this worker; a ``done``
+        published *after* the worker started — any state change at all —
+        is the live coordinator speaking and is acted on immediately.
+
+        Fault injection exhausting ``max_points`` returns silently —
         a dead worker does not report.
         """
+        stale = _state_signature(read_json(self.paths.state))
         self.join()
+        grace = self.stale_done_grace if self.stale_done_grace is not None \
+            else max(10.0, 10.0 * poll)
         deadline = None if timeout is None else self.clock() + timeout
+        stale_done_since: Optional[float] = None
+        last_signature = stale
+        last_beat = float("-inf")
         try:
-            while not self._coordinator_done():
+            while True:
+                state = read_json(self.paths.state)
+                signature = _state_signature(state)
+                if signature != last_signature:
+                    last_signature = signature
+                    if timeout is not None:
+                        deadline = self.clock() + timeout
+                if state is not None and state.get("status") == "done":
+                    if stale is None or signature != stale:
+                        break           # published since we started: live
+                    if stale_done_since is None:
+                        stale_done_since = self.clock()
+                    elif self.clock() - stale_done_since >= grace:
+                        break           # nobody resumed it: genuinely done
+                else:
+                    # A live serving state (or none yet): from here on,
+                    # any done is this coordinator's news, not leftovers.
+                    stale = None
+                    stale_done_since = None
                 if deadline is not None and self.clock() > deadline:
                     raise TimeoutError(
-                        f"worker {self.worker_id}: no completion from the "
-                        f"coordinator within {timeout:g}s")
-                self.heartbeat()
-                lease = read_json(self.paths.lease(self.worker_id))
-                seq = -1 if lease is None else int(lease.get("seq", -1))
-                if lease is not None and seq > self._lease_seq:
-                    self._lease_seq = seq
-                    if lease.get("status") == "granted":
-                        self._execute_lease(lease)
-                        continue        # ask immediately for the next one
+                        f"worker {self.worker_id}: no coordinator "
+                        f"progress within {timeout:g}s")
+                # Throttled to heartbeat_interval: an idle fleet must not
+                # fsync the shared volume once per poll tick per worker.
+                if self.clock() - last_beat >= self.heartbeat_interval:
+                    self.heartbeat()
+                    last_beat = self.clock()
+                serving_run = (state.get("run") if state is not None
+                               and state.get("status") == "serving"
+                               else None)
+                lease = self._next_lease(serving_run)
+                if lease is not None:
+                    self._execute_lease(lease)
+                    if timeout is not None:
+                        deadline = self.clock() + timeout
+                    continue            # ask immediately for the next one
                 time.sleep(poll)
         except WorkerDied as death:
             self._notify(str(death))

@@ -200,7 +200,15 @@ class ResultStore:
         salvaged = 0
         for path in shard_files:
             for digest, record in read_records(path).items():
-                if digest not in records:
+                canonical = records.get(digest)
+                if canonical is None:
+                    records[digest] = record
+                    salvaged += 1
+                elif record.get("status") in RESUMABLE_STATUSES and \
+                        canonical.get("status") not in RESUMABLE_STATUSES:
+                    # The retry a crashed coordinator never merged beats
+                    # the stale error it was retrying — the same rule the
+                    # fleet's own resume salvage applies.
                     records[digest] = record
                     salvaged += 1
         os.makedirs(self.directory, exist_ok=True)

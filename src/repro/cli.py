@@ -213,8 +213,9 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument("--poll", type=float, default=0.2,
                                help="control-plane poll interval in seconds")
         subparser.add_argument("--timeout", type=float, default=None,
-                               help="give up after this many wall seconds "
-                                    "without completion")
+                               help="give up after this many seconds "
+                                    "without fleet progress (resets on "
+                                    "every completed point)")
 
     campaign_serve = campaign_commands.add_parser(
         "serve", help="run the fleet coordinator for a distributed sweep")
@@ -238,12 +239,24 @@ def build_parser() -> argparse.ArgumentParser:
                                help="worker id (default: <host>-<pid>; "
                                     "names this worker's shard file)")
     campaign_work.add_argument("--poll", type=float, default=0.2)
-    campaign_work.add_argument("--timeout", type=float, default=None)
+    campaign_work.add_argument("--timeout", type=float, default=None,
+                               help="give up after this many seconds "
+                                    "without coordinator progress (keep "
+                                    "it above ~15s — the coordinator "
+                                    "beats its state at least that often "
+                                    "while alive)")
     campaign_work.add_argument("--fail-after", type=int, default=None,
                                metavar="N",
                                help="fault injection: die (stop "
                                     "heartbeating) after executing N "
                                     "points")
+    campaign_work.add_argument("--grace", type=float, default=None,
+                               help="seconds a pre-existing 'done' state "
+                                    "must survive unchanged before this "
+                                    "worker trusts it and exits — the "
+                                    "window you have to start 'serve' "
+                                    "after the workers (default: 10; "
+                                    "0 trusts it immediately)")
     campaign_work.add_argument("--quiet", action="store_true")
 
     campaign_fleet = campaign_commands.add_parser(
@@ -548,6 +561,7 @@ def _campaign_work(args: argparse.Namespace) -> int:
     worker = Worker(campaign, store.directory,
                     args.worker or default_worker_id(),
                     max_points=args.fail_after,
+                    stale_done_grace=args.grace,
                     progress=(None if args.quiet else
                               lambda line: print(line, file=sys.stderr)))
     try:

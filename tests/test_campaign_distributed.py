@@ -11,6 +11,8 @@ without changing the aggregate.
 from __future__ import annotations
 
 import os
+import threading
+import time
 
 import pytest
 
@@ -23,9 +25,11 @@ from repro.campaign.distributed import (
     ShardReader,
     ShardStore,
     Worker,
+    default_worker_id,
     ensure_quiescent,
     shard_path,
 )
+from repro.campaign.distributed.protocol import read_json, write_json
 from repro.campaign.grid import CampaignError
 from repro.cluster import Cluster
 from repro.dashboard import FleetMonitor
@@ -52,6 +56,21 @@ def sweep(name="dist-sweep") -> Campaign:
             .grid(rate=RATES)
             .seeds(2)
             .backends("kollaps", "baremetal"))
+
+
+def slow_pair(*, rate, seed=0):
+    """A point whose execution outlasts a sub-second lease timeout."""
+    time.sleep(0.5)
+    return pair(rate=rate, seed=seed)
+
+
+def slow_sweep() -> Campaign:
+    """2 points, each taking >= 0.5s wall time."""
+    return (Campaign("slow-sweep")
+            .scenario(slow_pair)
+            .grid(rate=RATES)
+            .seeds(1)
+            .backends("kollaps"))
 
 
 @pytest.fixture(scope="module")
@@ -158,6 +177,19 @@ class TestShards:
             handle.write('{"hash": "torn", "stat')       # killed mid-write
         assert set(shard.load()) == {"abc"}
 
+    def test_rejoining_worker_repairs_torn_tail(self, tmp_path):
+        """A worker killed mid-write leaves an unterminated fragment;
+        the same id rejoining must not glue its first record onto it
+        (the glued line would parse as neither record, forever)."""
+        shard = ShardStore(str(tmp_path), "w1")
+        shard.append({"hash": "a", "status": "ok"})
+        with open(shard.path, "a", encoding="utf-8") as handle:
+            handle.write('{"hash": "b", "stat')        # killed mid-write
+        rejoined = ShardStore(str(tmp_path), "w1")     # new process
+        rejoined.append({"hash": "c", "status": "ok"})
+        assert [d for d, _r in ShardReader(shard.path).poll()] == ["a", "c"]
+        assert set(rejoined.load()) == {"a", "c"}
+
     def test_reader_is_incremental(self, tmp_path):
         shard = ShardStore(str(tmp_path), "w1")
         reader = ShardReader(shard.path)
@@ -238,6 +270,18 @@ class TestStoreMaintenance:
         assert report["records_salvaged"] == 1
         assert report["shards_removed"] == 1
         assert store.shard_paths() == []
+
+    def test_compact_salvage_prefers_shard_retry_over_stale_error(
+            self, tmp_path):
+        """A retry a crashed coordinator never merged must survive
+        compaction — same rule as the fleet's own resume salvage."""
+        store = ResultStore(str(tmp_path / "c"))
+        store.append({"hash": "a", "status": "error", "origin": "stale"})
+        shard = ShardStore(store.directory, "w1")
+        shard.append({"hash": "a", "status": "ok", "origin": "retry"})
+        report = store.compact()
+        assert report["records_salvaged"] == 1
+        assert store.load()["a"]["origin"] == "retry"
 
     def test_compact_is_idempotent_and_preserves_aggregate(self, tmp_path,
                                                            serial_markdown):
@@ -396,6 +440,297 @@ class TestFleet:
     def test_fleet_needs_a_worker(self, tmp_path):
         with pytest.raises(ValueError, match="at least one worker"):
             run_fleet(sweep(), workers=0, store=str(tmp_path))
+
+
+# --------------------------------------------------------------------------
+# Fleet hardening: stale control plane, ghosts, long points, timeouts.
+# --------------------------------------------------------------------------
+class TestFleetHardening:
+    def test_start_clears_stale_leases_and_heartbeats(self, tmp_path):
+        """A new coordinator must not inherit the previous run's lease
+        seqs or heartbeat seqs (worker ids recur across runs)."""
+        store = ResultStore(str(tmp_path / "stale"))
+        paths = FleetPaths(store.directory)
+        write_json(paths.lease("local-0"), {"status": "granted", "seq": 999})
+        write_json(paths.heartbeat("local-0"),
+                   {"worker": "local-0", "seq": 4242})
+        write_json(paths.worker("local-0"), {"worker": "local-0"})
+        write_json(paths.state, {"status": "done", "run": "previous",
+                                 "seq": 9})
+        coordinator = Coordinator(sweep(), store)
+        coordinator.start()
+        assert read_json(paths.lease("local-0")) is None
+        assert read_json(paths.heartbeat("local-0")) is None
+        state = read_json(paths.state)
+        assert state["status"] == "serving"
+        assert state["run"] == coordinator.run_id      # stale done replaced
+        # Join docs survive: a live worker that joined before the
+        # coordinator started never re-announces itself.
+        assert "local-0" in paths.joined_workers()
+
+    def test_ghost_join_doc_gets_no_lease_or_machine(self, tmp_path):
+        """A leftover join announcement alone (no heartbeat this run)
+        must not earn a machine slot or sit on real points."""
+        store = ResultStore(str(tmp_path / "ghost"))
+        paths = FleetPaths(store.directory)
+        write_json(paths.worker("ghost"), {"worker": "ghost"})
+        coordinator = Coordinator(sweep(), store, cluster=Cluster(1))
+        coordinator.start()
+        coordinator.step(now=0.0)
+        assert coordinator.workers["ghost"].status == "joining"
+        assert coordinator.workers["ghost"].machine is None
+        assert coordinator.table.leases == {}
+        # A worker that actually heartbeats takes the one machine the
+        # ghost must not be holding, and gets the first lease.
+        write_json(paths.worker("w1"), {"worker": "w1"})
+        write_json(paths.heartbeat("w1"), {"worker": "w1", "seq": 1})
+        coordinator.step(now=1.0)
+        assert coordinator.workers["w1"].status == "live"
+        assert coordinator.table.lease_of("w1") is not None
+        assert coordinator.table.lease_of("ghost") is None
+
+    def test_worker_lease_seq_resets_across_coordinator_runs(self, tmp_path):
+        """A fresh coordinator restarts its seq counters; the run id
+        change must reset the worker's high-water mark, or every new
+        grant would be silently ignored."""
+        worker = Worker(sweep(), str(tmp_path), "w1")
+        lease_path = worker.paths.lease("w1")
+        write_json(lease_path, {"status": "granted", "run": "old",
+                                "seq": 57, "points": []})
+        assert worker._next_lease("old") is not None
+        assert worker._next_lease("old") is None       # already seen
+        write_json(lease_path, {"status": "granted", "run": "new",
+                                "seq": 1, "points": []})
+        assert worker._next_lease("old") is None       # not the serving run
+        assert worker._next_lease(None) is None        # nobody serving
+        assert worker._next_lease("new") is not None   # run changed: seq 1
+        write_json(lease_path, {"status": "revoked", "run": "new",
+                                "seq": 2})
+        assert worker._next_lease("new") is None       # revocation consumed
+
+    def test_worker_ignores_leftover_lease_of_a_dead_fleet(self, tmp_path):
+        """A worker started against a stale directory (old state + old
+        lease sharing the previous run id) must not burn time executing
+        the dead fleet's last grant: the state is 'done', nobody is
+        serving, so no lease may run."""
+        worker = Worker(sweep(), str(tmp_path), "w1")
+        point = sweep().points()[0]
+        write_json(worker.paths.lease("w1"),
+                   {"status": "granted", "run": "previous", "seq": 3,
+                    "points": [point.to_dict()]})
+        write_json(worker.paths.state,
+                   {"status": "done", "run": "previous", "seq": 9})
+        # The run loop only polls leases while a 'serving' state names
+        # the run; a stale 'done' run yields none.
+        assert worker._next_lease(None) is None
+        assert worker.executed == 0
+
+    def test_fleet_completes_despite_stale_control_plane(self, tmp_path,
+                                                         serial_markdown):
+        """The review scenario: every recurring worker id poisoned with
+        a high-seq leftover lease and heartbeat — the sweep must still
+        complete instead of hanging until the timeout."""
+        paths = FleetPaths(os.path.join(str(tmp_path), "dist-sweep"))
+        for worker in ("local-0", "local-1"):
+            write_json(paths.worker(worker), {"worker": worker})
+            write_json(paths.lease(worker), {"status": "revoked",
+                                             "seq": 999})
+            write_json(paths.heartbeat(worker), {"worker": worker,
+                                                 "seq": 31337})
+        result = run_fleet(sweep(), workers=2, store=str(tmp_path),
+                           lease_size=2, timeout=60.0)
+        assert not result.failed() and len(result) == 8
+        assert result.aggregate().to_markdown() == serial_markdown
+
+    def test_long_point_outlives_short_lease_timeout(self, tmp_path):
+        """A single point running past lease_timeout must not get its
+        healthy worker declared dead: the background pulse renews the
+        lease throughout run_point."""
+        events = []
+        result = run_fleet(slow_sweep(), workers=1, store=str(tmp_path),
+                           lease_size=1, lease_timeout=0.3, timeout=60.0,
+                           progress=events.append)
+        assert not result.failed() and len(result) == 2
+        assert not [event for event in events if event.kind == "expire"]
+        merges = [event.worker for event in events if event.kind == "merge"]
+        assert merges == ["local-0", "local-0"]
+
+    def test_serve_timeout_is_a_no_progress_deadline(self, tmp_path):
+        """A fleet steadily completing points slower than the total
+        timeout but faster than the per-point timeout must finish."""
+        ticks = {"now": 0.0}
+        store = ResultStore(str(tmp_path / "steady"))
+        campaign = sweep()
+        coordinator = Coordinator(campaign, store,
+                                  clock=lambda: ticks["now"])
+        digests = [point.digest() for point in campaign.points()]
+        real_step = coordinator.step
+
+        def step(now):
+            real_step(now)
+            ticks["now"] += 0.6        # < timeout per point, > in total
+            if digests:
+                coordinator.table.complete(digests.pop(0))
+
+        coordinator.step = step
+        result = coordinator.serve(poll=0.0, timeout=1.0)
+        assert coordinator.done()
+        assert result is not None      # finished; no TimeoutError raised
+
+    def test_steady_fleet_outlives_short_total_timeout(self, tmp_path):
+        """timeout is a no-progress deadline for workers too: a sweep
+        whose wall time exceeds it but that completes a point within
+        every window must finish, not die mid-run."""
+        result = run_fleet(slow_sweep(), workers=1, store=str(tmp_path),
+                           lease_size=1, lease_timeout=30.0, timeout=1.0)
+        assert not result.failed() and len(result) == 2
+
+    def test_worker_outwaits_stale_done_state(self, tmp_path):
+        """A previous run's 'done' state.json must not make a freshly
+        started worker exit before the resuming coordinator appears."""
+        directory = os.path.join(str(tmp_path), "dist-sweep")
+        write_json(FleetPaths(directory).state,
+                   {"status": "done", "campaign": "dist-sweep",
+                    "run": "previous", "seq": 7, "total": 8,
+                    "completed": 8, "workers": []})
+        worker = Worker(sweep(), directory, "w1")
+        thread = threading.Thread(target=worker.run,
+                                  kwargs={"poll": 0.1, "timeout": 60.0},
+                                  daemon=True)
+        thread.start()
+        time.sleep(0.2)                # well inside the 10*poll grace
+        coordinator = Coordinator(sweep(), ResultStore(directory))
+        result = coordinator.serve(poll=0.05, timeout=60.0)
+        thread.join(timeout=10.0)
+        assert not result.failed() and len(result) == 8
+        assert worker.executed == 8
+
+    def test_worker_exits_on_undisturbed_stale_done_after_grace(
+            self, tmp_path):
+        """With no coordinator ever showing up, a pre-existing 'done'
+        is eventually believed — the worker exits, not hangs."""
+        write_json(FleetPaths(str(tmp_path)).state,
+                   {"status": "done", "run": "previous", "seq": 3})
+        worker = Worker(sweep(), str(tmp_path), "w1",
+                        stale_done_grace=0.2)
+        assert worker.run(poll=0.02, timeout=30.0) == 0
+
+    def test_restarted_worker_with_same_id_is_not_muted(self, tmp_path):
+        """A worker restarting mid-run restarts its heartbeat seq; the
+        boot marker must reset the coordinator's high-water mark, or
+        the rejoiner stays suspect forever and the fleet hangs."""
+        store = ResultStore(str(tmp_path / "restart"))
+        paths = FleetPaths(store.directory)
+        coordinator = Coordinator(sweep(), store)
+        coordinator.start()
+        write_json(paths.worker("w1"), {"worker": "w1"})
+        write_json(paths.heartbeat("w1"),
+                   {"worker": "w1", "boot": "boot-a", "seq": 500})
+        coordinator.step(now=0.0)
+        assert coordinator.workers["w1"].status == "live"
+        assert coordinator.workers["w1"].heartbeat_seq == 500
+        # The process dies and comes back: same id, fresh counters.
+        write_json(paths.heartbeat("w1"),
+                   {"worker": "w1", "boot": "boot-b", "seq": 1,
+                    "executed": 0})
+        coordinator.step(now=1.0)
+        assert coordinator.workers["w1"].heartbeat_seq == 1
+        assert coordinator.workers["w1"].last_seen == 1.0
+        # The executed high-water mark resets with the boot too, so the
+        # rejoiner's progress signal is not muted either.
+        assert coordinator.workers["w1"].executed_seen == 0
+
+    def test_serve_deadline_resets_on_heartbeats_alone(self, tmp_path):
+        """One healthy point running longer than the timeout must not
+        abort the sweep while its worker provably heartbeats."""
+        ticks = {"now": 0.0, "beats": 0}
+        store = ResultStore(str(tmp_path / "longpoint"))
+        campaign = sweep()
+        coordinator = Coordinator(campaign, store,
+                                  clock=lambda: ticks["now"])
+        paths = FleetPaths(store.directory)
+        write_json(paths.worker("w1"), {"worker": "w1"})
+        digests = [point.digest() for point in campaign.points()]
+        real_step = coordinator.step
+
+        def step(now):
+            ticks["beats"] += 1
+            write_json(paths.heartbeat("w1"),
+                       {"worker": "w1", "boot": "b", "seq": ticks["beats"]})
+            real_step(now)
+            ticks["now"] += 0.6
+            if ticks["beats"] > 5:         # a 3.6s "point" vs timeout 2.0
+                for digest in digests:
+                    coordinator.table.complete(digest)
+
+        coordinator.step = step
+        coordinator.serve(poll=0.0, timeout=2.0)     # no TimeoutError
+        assert coordinator.done()
+
+    def test_serve_eventually_times_out_on_wedged_worker(self, tmp_path):
+        """Heartbeats alone buy at most LIVENESS_PATIENCE timeouts: a
+        wedged worker whose pulse keeps beating cannot hang an
+        explicitly time-bounded sweep forever."""
+        ticks = {"now": 0.0, "beats": 0}
+        store = ResultStore(str(tmp_path / "wedge"))
+        coordinator = Coordinator(sweep(), store,
+                                  clock=lambda: ticks["now"])
+        paths = FleetPaths(store.directory)
+        write_json(paths.worker("w1"), {"worker": "w1"})
+        real_step = coordinator.step
+
+        def step(now):
+            ticks["beats"] += 1
+            write_json(paths.heartbeat("w1"),
+                       {"worker": "w1", "boot": "b", "seq": ticks["beats"],
+                        "executed": 0})    # beating, never progressing
+            real_step(now)
+            ticks["now"] += 0.5
+
+        coordinator.step = step
+        with pytest.raises(TimeoutError, match="execution progress"):
+            coordinator.serve(poll=0.0, timeout=1.0)
+        assert ticks["now"] <= 5.0         # bounded at ~3x, not forever
+
+    def test_state_beats_even_when_unchanged(self, tmp_path):
+        """Workers read any state advance as fleet progress, so an
+        otherwise-unchanged state must still beat once per
+        min(lease_timeout, 15s) for their no-progress deadlines to
+        renew while a peer runs one long point."""
+        ticks = {"now": 0.0}
+        store = ResultStore(str(tmp_path / "beat"))
+        coordinator = Coordinator(sweep(), store, lease_timeout=30.0,
+                                  clock=lambda: ticks["now"])
+        coordinator.start()
+        coordinator.step(now=0.0)
+        seq = read_json(coordinator.paths.state)["seq"]
+        ticks["now"] = 10.0
+        coordinator.step(now=10.0)                   # within the window
+        assert read_json(coordinator.paths.state)["seq"] == seq
+        ticks["now"] = 16.0
+        coordinator.step(now=16.0)     # past the 15s cap: forced beat
+        assert read_json(coordinator.paths.state)["seq"] > seq
+
+    def test_explicit_zero_grace_is_honored(self, tmp_path):
+        """run_fleet and --grace 0 mean 'trust a pre-existing done
+        immediately' — no hidden floor."""
+        write_json(FleetPaths(str(tmp_path)).state,
+                   {"status": "done", "run": "previous", "seq": 3})
+        worker = Worker(sweep(), str(tmp_path), "w1", stale_done_grace=0.0)
+        start = time.monotonic()
+        assert worker.run(poll=0.2, timeout=30.0) == 0
+        assert time.monotonic() - start < 1.0
+
+    def test_default_worker_id_survives_weird_hostnames(self, monkeypatch):
+        import socket
+        monkeypatch.setattr(socket, "gethostname", lambda: "-9lab.internal")
+        worker_id = default_worker_id()
+        shard_path("/tmp", worker_id)                  # must validate
+        assert worker_id.startswith("9lab-")
+        monkeypatch.setattr(socket, "gethostname", lambda: "...")
+        worker_id = default_worker_id()
+        assert worker_id.startswith("worker-")
+        shard_path("/tmp", worker_id)
 
 
 # --------------------------------------------------------------------------

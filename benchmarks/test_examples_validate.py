@@ -17,10 +17,12 @@ from repro.cli import main
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+SCN_SIBLINGS = sorted(EXAMPLES_DIR.glob("*.scn"))
 
 
 def test_examples_exist():
     assert len(EXAMPLES) >= 8, "the example gallery shrank unexpectedly"
+    assert len(SCN_SIBLINGS) >= 3, "the .scn sibling gallery shrank"
 
 
 @pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.stem)
@@ -29,3 +31,27 @@ def test_cli_validate_accepts_example(example, capsys):
     out = capsys.readouterr().out
     assert "topology" in out
     assert "dynamic events:" in out
+
+
+@pytest.mark.parametrize("sibling", SCN_SIBLINGS,
+                         ids=lambda path: path.stem)
+def test_cli_validate_accepts_scn_sibling(sibling, capsys):
+    assert main(["validate", str(sibling)]) == 0
+    assert "topology" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("sibling", SCN_SIBLINGS,
+                         ids=lambda path: path.stem)
+def test_scn_sibling_is_fresh_and_recompiles_identically(sibling, capsys):
+    """The checked-in .scn must be the current canonical export of its
+    .py sibling (byte-fresh) and compile to the same scenario."""
+    from repro.scenario import Scenario, dumps_scn
+
+    source = sibling.with_suffix(".py")
+    compiled = Scenario.from_file(str(source)).compile()
+    assert dumps_scn(compiled) == sibling.read_text(), \
+        f"stale sibling: re-run `repro scenario export {source} " \
+        f"-o {sibling}`"
+    reloaded = Scenario.from_file(str(sibling)).compile()
+    assert reloaded.describe() == compiled.describe()
+    assert reloaded.path_table() == compiled.path_table()

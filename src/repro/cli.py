@@ -15,15 +15,30 @@ exposing ``SCENARIO``) to a runnable experiment.
 ``validate``
     Compile a description (and optional scenario script) without running
     anything; prints the collapsed end-to-end paths.  Also accepts
-    ``examples/*.py`` files exposing a module-level ``SCENARIO``.
+    ``examples/*.py`` files exposing a module-level ``SCENARIO`` and
+    ``.scn`` documents.  Diagnostics go to stderr; exit 1 on any error,
+    exit 0 when only warnings were found.
 
 ``plan``
     Emit the Docker-Compose / Kubernetes-manifest deployment document for
     a description (the Deployment Generator's output, §4).
 
 ``scenario``
-    Compile a THUNDERSTORM-style scenario script against a topology and
-    print the resulting primitive event schedule.
+    The declarative scenario DSL toolbox (:mod:`repro.scenario.dsl`)::
+
+        repro scenario lint FILE...          # aggregated diagnostics
+        repro scenario diff A B              # semantic diff, compiled form
+        repro scenario export FILE -o F.scn  # canonical .scn export
+        repro scenario fuzz --seed 1 --count 200 --check \
+            --differential kollaps,trickle   # property-based corpus
+        repro scenario script DESC SCRIPT    # THUNDERSTORM -> events
+
+    ``lint`` exits 1 on any error and 0 with warnings; ``diff`` exits 0
+    when semantically identical, 1 when different, 2 on load failure;
+    ``fuzz --check`` enforces the round-trip guarantee (byte-identical
+    ``describe()``/``path_table()`` after dump → reload → recompile) and
+    ``--differential`` runs every generated scenario across backends and
+    fails on divergence; ``--bench`` writes a BENCH_dsl.json baseline.
 
 ``reproduce``
     Run the paper's tables/figures and (re)write EXPERIMENTS.md — a thin
@@ -57,7 +72,9 @@ exposing ``SCENARIO``) to a runnable experiment.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.scenario import Scenario, flow
@@ -140,9 +157,65 @@ def build_parser() -> argparse.ArgumentParser:
                            "backend's capabilities")
 
     scenario = commands.add_parser(
-        "scenario", help="compile a scenario script to primitive events")
-    _add_description_argument(scenario)
-    scenario.add_argument("script", help="THUNDERSTORM scenario file")
+        "scenario", help="scenario DSL tooling: lint, diff, export, fuzz, "
+                         "script")
+    scenario_commands = scenario.add_subparsers(dest="scenario_command",
+                                                required=True)
+
+    scenario_lint = scenario_commands.add_parser(
+        "lint", help="schema + whole-program diagnostics for scenario "
+                     "files (.scn, listing text, XML, .py)")
+    scenario_lint.add_argument("files", nargs="+", metavar="FILE")
+    scenario_lint.add_argument("--scenario", default=None,
+                               help="THUNDERSTORM script merged before "
+                                    "compiling")
+
+    scenario_diff = scenario_commands.add_parser(
+        "diff", help="semantic diff of two scenarios over the compiled "
+                     "form (exit 0 identical, 1 different, 2 load error)")
+    scenario_diff.add_argument("before", metavar="A")
+    scenario_diff.add_argument("after", metavar="B")
+    scenario_diff.add_argument("--json", action="store_true",
+                               help="machine-readable output")
+
+    scenario_export = scenario_commands.add_parser(
+        "export", help="export any scenario front-end to canonical .scn")
+    _add_description_argument(scenario_export)
+    scenario_export.add_argument("--scenario", default=None,
+                                 help="THUNDERSTORM script merged (and "
+                                      "lowered to events) before export")
+    scenario_export.add_argument("-o", "--output", default=None,
+                                 help="write here instead of stdout")
+
+    scenario_fuzz = scenario_commands.add_parser(
+        "fuzz", help="generate seeded random scenarios; optionally check "
+                     "round-trip and cross-backend agreement")
+    scenario_fuzz.add_argument("--seed", type=int, default=0)
+    scenario_fuzz.add_argument("--count", type=int, default=10)
+    scenario_fuzz.add_argument("--scale", default="small",
+                               choices=("small", "medium", "large"))
+    scenario_fuzz.add_argument("--out", default=None, metavar="DIR",
+                               help="write <name>.scn files here")
+    scenario_fuzz.add_argument("--check", action="store_true",
+                               help="lint every scenario and enforce the "
+                                    "round-trip guarantee")
+    scenario_fuzz.add_argument("--differential", default=None,
+                               metavar="BACKENDS",
+                               help="comma-separated backends to run each "
+                                    "scenario on (e.g. kollaps,trickle); "
+                                    "exit 1 on any divergence")
+    scenario_fuzz.add_argument("--tolerance", type=float, default=0.15,
+                               help="relative metric deviation allowed by "
+                                    "--differential (default: 0.15)")
+    scenario_fuzz.add_argument("--bench", default=None, metavar="FILE",
+                               help="write a BENCH_dsl.json-style timing "
+                                    "baseline here")
+    scenario_fuzz.add_argument("--quiet", action="store_true")
+
+    scenario_script = scenario_commands.add_parser(
+        "script", help="compile a THUNDERSTORM script to primitive events")
+    _add_description_argument(scenario_script)
+    scenario_script.add_argument("script", help="THUNDERSTORM scenario file")
 
     reproduce = commands.add_parser(
         "reproduce", help="reproduce the paper's tables/figures")
@@ -364,6 +437,15 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_validate(args: argparse.Namespace) -> int:
+    from repro.scenario.dsl import lint_file
+    diagnostics = lint_file(args.experiment,
+                            script=getattr(args, "scenario", None))
+    for diagnostic in diagnostics:
+        print(f"{args.experiment}: {diagnostic}", file=sys.stderr)
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    if errors:
+        print(f"{args.experiment}: {errors} error(s)", file=sys.stderr)
+        return 1
     compiled = _load_scenario(args).compile()
     print(f"{compiled.topology.describe()}")
     print(f"dynamic events: {len(compiled.schedule)}")
@@ -399,7 +481,7 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_scenario(args: argparse.Namespace) -> int:
+def _scenario_script(args: argparse.Namespace) -> int:
     compiled = Scenario.from_file(args.experiment).compile()
     with open(args.script, encoding="utf-8") as handle:
         schedule = compiled.compile_script(handle.read())
@@ -415,6 +497,142 @@ def _command_scenario(args: argparse.Namespace) -> int:
         print(f"t={event.time:<8g} {event.action.value:<10} {target}{details}")
     print(f"# {len(schedule)} primitive events", file=sys.stderr)
     return 0
+
+
+def _scenario_lint(args: argparse.Namespace) -> int:
+    from repro.scenario.dsl import lint_file
+    errors = 0
+    for path in args.files:
+        diagnostics = lint_file(path, script=args.scenario)
+        for diagnostic in diagnostics:
+            print(f"{path}: {diagnostic}", file=sys.stderr)
+        errors += sum(1 for d in diagnostics if d.severity == "error")
+    if errors:
+        print(f"{errors} error(s) in {len(args.files)} file(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _scenario_diff(args: argparse.Namespace) -> int:
+    from repro.scenario.dsl import ScnError, diff_scenarios
+    from repro.topology.model import TopologyError
+    compiled = []
+    for path in (args.before, args.after):
+        try:
+            compiled.append(Scenario.from_file(path).compile())
+        except (ScnError, TopologyError, UnitError, OSError,
+                SyntaxError) as error:
+            print(f"cannot load {path!r}: {error}", file=sys.stderr)
+            return 2
+    difference = diff_scenarios(*compiled)
+    if args.json:
+        print(json.dumps(difference.to_dict(), indent=2))
+    else:
+        print(difference.to_text(), end="")
+    return 1 if difference else 0
+
+
+def _scenario_export(args: argparse.Namespace) -> int:
+    from repro.scenario.dsl import ScnError, dumps_scn
+    from repro.topology.model import TopologyError
+    try:
+        compiled = _load_scenario(args).compile()
+        text = dumps_scn(compiled)
+    except (ScnError, TopologyError, UnitError, OSError,
+            SyntaxError) as error:
+        print(f"cannot export {args.experiment!r}: {error}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _scenario_fuzz(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.scenario.dsl import (FuzzBudget, dumps_scn, generate_scenario,
+                                    loads_scn, run_differential)
+    budget = FuzzBudget.scaled(args.scale)
+    differential_backends = tuple(
+        name.strip() for name in args.differential.split(",")
+        if name.strip()) if args.differential else ()
+
+    out_dir = None
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    generate_time = compile_time = roundtrip_time = 0.0
+    failures = 0
+    for index in range(args.count):
+        started = time.perf_counter()
+        builder = generate_scenario(args.seed, index, budget)
+        generate_time += time.perf_counter() - started
+
+        started = time.perf_counter()
+        compiled = builder.compile()
+        compile_time += time.perf_counter() - started
+        text = dumps_scn(compiled)
+
+        if out_dir is not None:
+            with open(out_dir / f"{compiled.name}.scn", "w",
+                      encoding="utf-8") as handle:
+                handle.write(text)
+
+        if args.check:
+            started = time.perf_counter()
+            reloaded = loads_scn(text, source=compiled.name).compile()
+            roundtrip_time += time.perf_counter() - started
+            if (reloaded.describe() != compiled.describe()
+                    or reloaded.path_table() != compiled.path_table()):
+                print(f"{compiled.name}: round-trip mismatch",
+                      file=sys.stderr)
+                failures += 1
+
+        if differential_backends:
+            report = run_differential(compiled, differential_backends,
+                                      tolerance=args.tolerance)
+            if not report.ok:
+                print(report.summary(), file=sys.stderr)
+                failures += 1
+            elif not args.quiet:
+                print(report.summary(), file=sys.stderr)
+
+    def per_second(elapsed: float) -> float:
+        return round(args.count / elapsed, 1) if elapsed > 0 else 0.0
+
+    summary = {"bench": "dsl", "seed": args.seed, "count": args.count,
+               "scale": args.scale,
+               "generate_per_sec": per_second(generate_time),
+               "compile_per_sec": per_second(compile_time),
+               "failures": failures}
+    if args.check:
+        summary["roundtrip_per_sec"] = per_second(roundtrip_time)
+    if differential_backends:
+        summary["differential"] = list(differential_backends)
+    if args.bench:
+        with open(args.bench, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+    if not args.quiet:
+        print(json.dumps(summary), file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    handlers = {
+        "lint": _scenario_lint,
+        "diff": _scenario_diff,
+        "export": _scenario_export,
+        "fuzz": _scenario_fuzz,
+        "script": _scenario_script,
+    }
+    return handlers[args.scenario_command](args)
 
 
 def _load_campaign(args: argparse.Namespace):

@@ -5,40 +5,60 @@ curl clients (~64 KB per request, fresh TCP connection every time).  Bare
 metal and Kollaps scale near-linearly with client count; Mininet's
 throughput falls behind as its switches buckle under per-connection state.
 
-One compiled scenario per client count is fanned across the three
-backends via ``compiled.run(backend=...)``.
+Like Figure 5, the cross-system fan-out is a campaign: the client-count
+× backend grid is declared once, runs in-process via ``jobs=1`` here,
+and the *same* grid runs store-backed and parallel through
+``repro campaign run fig6`` — whose deterministic
+``aggregate().to_markdown()`` table is pinned by a golden fixture in
+``tests/golden/fig6_aggregate.md``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.experiments.base import ExperimentResult, experiment
+from repro.experiments.base import ExperimentResult, campaign_factory, \
+    experiment
 from repro.scenario import CompiledScenario, curl_swarm
 from repro.scenario.topologies import star
 
 CLIENT_COUNTS = [1, 2, 4, 8]
 SYSTEMS = ("baremetal", "kollaps", "mininet")
 _DURATION = 20.0
+_SEED = 71
 
 
-def scenario(clients: int, duration: float = _DURATION) -> CompiledScenario:
+def point_scenario(*, clients: int, duration: float = _DURATION,
+                   seed: int = _SEED):
+    """One Figure-6 scenario builder — the campaign's point factory."""
     sources = [f"c{i}" for i in range(clients)]
     return (star(["server"] + sources, bandwidth=100e6, latency=0.005)
             .workload(curl_swarm(sources, "server", key="curl"))
-            .deploy(machines=2, seed=71, duration=duration)
-            .compile())
+            .deploy(machines=2, seed=seed, duration=duration))
+
+
+def scenario(clients: int, duration: float = _DURATION) -> CompiledScenario:
+    return point_scenario(clients=clients, duration=duration).compile()
+
+
+@campaign_factory("fig6")
+def campaign(duration: float = _DURATION):
+    """The Figure-6 sweep: client counts × systems at the paper's seed."""
+    from repro.campaign import Campaign
+    return (Campaign("fig6")
+            .scenario(point_scenario)
+            .grid(clients=CLIENT_COUNTS, duration=[duration])
+            .seeds([_SEED])
+            .backends(*SYSTEMS))
 
 
 def compute_results(duration: float = _DURATION
                     ) -> Dict[Tuple[str, int], float]:
-    results = {}
-    for clients in CLIENT_COUNTS:
-        compiled = scenario(clients, duration)
-        for system in SYSTEMS:
-            run = compiled.run(backend=system)
-            results[(system, clients)] = run.metric("curl").value
-    return results
+    sweep = campaign(duration).run(jobs=1)
+    return {(system, clients):
+            sweep.run_for(clients=clients, backend=system)
+            .metric("curl").value
+            for clients in CLIENT_COUNTS for system in SYSTEMS}
 
 
 @experiment("fig6")

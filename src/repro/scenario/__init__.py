@@ -75,6 +75,25 @@ from repro.scenario.workloads import (
     udp_blast,
 )
 
+# The declarative DSL toolbox (kept after the builder imports above —
+# repro.scenario.dsl builds on builder/backends/workloads).
+from repro.scenario.dsl import (
+    Diagnostic,
+    DifferentialReport,
+    ScnError,
+    diff_scenarios,
+    dump_scn,
+    dumps_scn,
+    fuzz_campaign,
+    fuzz_corpus,
+    generate_scenario,
+    lint_file,
+    lint_scenario,
+    load_scn,
+    loads_scn,
+    run_differential,
+)
+
 __all__ = [
     "Scenario",
     "CompiledScenario",
@@ -112,4 +131,18 @@ __all__ = [
     "http_load",
     "curl_swarm",
     "custom",
+    "Diagnostic",
+    "ScnError",
+    "load_scn",
+    "loads_scn",
+    "dump_scn",
+    "dumps_scn",
+    "lint_file",
+    "lint_scenario",
+    "diff_scenarios",
+    "generate_scenario",
+    "fuzz_corpus",
+    "fuzz_campaign",
+    "DifferentialReport",
+    "run_differential",
 ]

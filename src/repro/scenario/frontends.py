@@ -255,13 +255,18 @@ def scenario_from_xml(text: str) -> Scenario:
 def scenario_from_file(path: str) -> Scenario:
     """Builder from a description file.
 
-    ``.xml``/``.modelnet`` parse as Modelnet XML, ``.py`` files must expose
-    a module-level ``SCENARIO`` (a :class:`Scenario` or a zero-argument
+    ``.xml``/``.modelnet`` parse as Modelnet XML, ``.scn`` as the
+    schema-validated declarative document
+    (:func:`repro.scenario.dsl.load_scn`), ``.py`` files must expose a
+    module-level ``SCENARIO`` (a :class:`Scenario` or a zero-argument
     callable returning one — how the repository's examples stay
     validatable), and anything else parses as listing-style text.
     """
     if path.endswith(".py"):
         return _scenario_from_python(path)
+    if path.endswith(".scn"):
+        from repro.scenario.dsl import load_scn
+        return load_scn(path)
     with open(path, encoding="utf-8") as handle:
         text = handle.read()
     if path.endswith((".xml", ".modelnet")):

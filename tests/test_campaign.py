@@ -514,6 +514,21 @@ class TestExperimentCampaigns:
         assert len(points) == 9          # 3 workloads x 3 systems
         assert all(point.seed == 61 for point in points)
 
+    def test_fig6_campaign_grid(self):
+        from repro.experiments import as_campaign
+        campaign = as_campaign("fig6")
+        points = campaign.points()
+        assert len(points) == 12         # 4 client counts x 3 systems
+        assert all(point.seed == 71 for point in points)
+
+    def test_fig6_aggregate_matches_golden(self):
+        from pathlib import Path
+
+        from repro.experiments.fig6 import campaign
+        sweep = campaign(6.0).run(jobs=1)
+        golden = Path(__file__).parent / "golden" / "fig6_aggregate.md"
+        assert sweep.aggregate().to_markdown() == golden.read_text()
+
     def test_table2_campaign_has_labelled_trickle_variants(self):
         from repro.experiments import as_campaign
         labels = {point.label for point in as_campaign("table2").points()}

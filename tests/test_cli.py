@@ -66,9 +66,19 @@ class TestValidate:
                      "--scenario", scenario_file]) == 0
         assert "dynamic events: 2" in capsys.readouterr().out
 
-    def test_missing_file_raises(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            main(["validate", str(tmp_path / "nope.txt")])
+    def test_missing_file_exits_cleanly(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.txt")]) == 1
+        err = capsys.readouterr().err
+        assert "nope.txt" in err
+        assert "error" in err
+
+    def test_bad_description_reports_diagnostics(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text(DESCRIPTION.replace("dest: sv", "dest: ghost"))
+        assert main(["validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "ghost" in err
+        assert "error(s)" in err
 
 
 class TestRun:
@@ -135,7 +145,8 @@ class TestPlan:
 class TestScenario:
     def test_compiles_and_lists_events(self, description_file,
                                        scenario_file, capsys):
-        assert main(["scenario", description_file, scenario_file]) == 0
+        assert main(["scenario", "script", description_file,
+                     scenario_file]) == 0
         out = capsys.readouterr().out
         assert "set_link" in out
         assert "s1->s2" in out
@@ -146,7 +157,119 @@ class TestScenario:
         bad.write_text("at 1 leave link s1--missing\n")
         from repro.topology import ThunderstormError
         with pytest.raises(ThunderstormError):
-            main(["scenario", description_file, str(bad)])
+            main(["scenario", "script", description_file, str(bad)])
+
+
+class TestScenarioLint:
+    def test_clean_file_exits_zero(self, description_file, capsys):
+        assert main(["scenario", "lint", description_file]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_error_goes_to_stderr_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.scn"
+        bad.write_text('{"scn": 1, "name": "x", "services": '
+                       '[{"name": "a"}], "links": '
+                       '[{"orig": "a", "dest": "ghost", "up": "1Mbps"}]}\n')
+        assert main(["scenario", "lint", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "ghost" in err
+        assert "error" in err
+
+    def test_warnings_exit_zero(self, tmp_path, capsys):
+        isolated = tmp_path / "isolated.scn"
+        isolated.write_text('{"scn": 1, "name": "x", "services": '
+                            '[{"name": "a"}, {"name": "b"}, {"name": "c"}],'
+                            ' "links": [{"orig": "a", "dest": "b", '
+                            '"up": "1Mbps"}]}\n')
+        assert main(["scenario", "lint", str(isolated)]) == 0
+        err = capsys.readouterr().err
+        assert "warning" in err
+        assert "c" in err
+
+    def test_aggregates_across_files(self, description_file, tmp_path,
+                                     capsys):
+        bad = tmp_path / "bad.scn"
+        bad.write_text('{"scn": 99}\n')
+        assert main(["scenario", "lint", description_file, str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "1 error(s) in 2 file(s)" in err
+
+
+class TestScenarioDiff:
+    def test_identical_semantics_exit_zero(self, description_file,
+                                           tmp_path, capsys):
+        exported = tmp_path / "same.scn"
+        assert main(["scenario", "export", description_file,
+                     "-o", str(exported)]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "diff", description_file,
+                     str(exported)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_real_change_exits_one(self, description_file, tmp_path,
+                                   capsys):
+        changed = tmp_path / "changed.txt"
+        changed.write_text(DESCRIPTION.replace("latency: 20",
+                                               "latency: 25"))
+        assert main(["scenario", "diff", description_file,
+                     str(changed)]) == 1
+        out = capsys.readouterr().out
+        assert "~ link s1->s2" in out
+        assert "0.02 -> 0.025" in out
+
+    def test_load_failure_exits_two(self, description_file, tmp_path,
+                                    capsys):
+        assert main(["scenario", "diff", description_file,
+                     str(tmp_path / "gone.scn")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestScenarioExport:
+    def test_exported_file_revalidates(self, description_file,
+                                       scenario_file, tmp_path, capsys):
+        out_path = tmp_path / "exported.scn"
+        assert main(["scenario", "export", description_file,
+                     "--scenario", scenario_file, "-o", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["validate", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dynamic events: 2" in out
+        assert "c1 -> sv" in out
+
+    def test_export_to_stdout(self, description_file, capsys):
+        assert main(["scenario", "export", description_file]) == 0
+        out = capsys.readouterr().out
+        assert '"scn": 1' in out
+        assert '"orig": "c1"' in out
+
+    def test_export_failure_exits_one(self, tmp_path, capsys):
+        assert main(["scenario", "export",
+                     str(tmp_path / "gone.txt")]) == 1
+        assert "cannot export" in capsys.readouterr().err
+
+
+class TestScenarioFuzz:
+    def test_check_corpus_and_bench(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        bench = tmp_path / "bench.json"
+        assert main(["scenario", "fuzz", "--seed", "3", "--count", "4",
+                     "--check", "--out", str(corpus),
+                     "--bench", str(bench), "--quiet"]) == 0
+        scn_files = sorted(corpus.glob("*.scn"))
+        assert len(scn_files) == 4
+        assert main(["scenario", "lint",
+                     *[str(path) for path in scn_files]]) == 0
+        import json
+        recorded = json.loads(bench.read_text())
+        assert recorded["count"] == 4
+        assert recorded["failures"] == 0
+        assert recorded["generate_per_sec"] > 0
+
+    def test_differential_backends(self, capsys):
+        assert main(["scenario", "fuzz", "--seed", "5", "--count", "2",
+                     "--differential", "kollaps,trickle"]) == 0
+        err = capsys.readouterr().err
+        assert "kollaps vs trickle agree" in err
 
 
 class TestParserShape:
@@ -182,12 +305,13 @@ class TestValidatePython:
         assert main(["validate", str(module)]) == 0
         assert "a -> b" in capsys.readouterr().out
 
-    def test_module_without_scenario_rejected(self, tmp_path):
+    def test_module_without_scenario_rejected(self, tmp_path, capsys):
         module = tmp_path / "empty_module.py"
         module.write_text("x = 1\n")
-        from repro.topology import TopologyError
-        with pytest.raises(TopologyError):
-            main(["validate", str(module)])
+        assert main(["validate", str(module)]) == 1
+        err = capsys.readouterr().err
+        assert "SCENARIO" in err
+        assert "error" in err
 
     def test_run_preserves_module_deploy_settings(self, tmp_path, capsys):
         """`run` must not clobber a .py scenario's machines/seed/duration

@@ -1,0 +1,197 @@
+"""Engine performance baselines, measured through the telemetry layer.
+
+Three headline rates anchor the reproduction's performance story:
+fair-share solves/sec (the progressive-filling allocator of §3),
+collapses/sec (all-pairs shortest paths on a mid-size scale-free
+topology), and campaign points/sec for a single worker.  Every rate is
+derived from the telemetry counters the instrumented code itself
+maintains — the benchmark doubles as an end-to-end check that the
+counters measure what they claim.
+
+``REPRO_BENCH_WRITE=1`` refreshes ``BENCH_engine.json`` at the repo
+root (checked in, like ``BENCH_dsl.json``) so drift shows up in review
+diffs rather than only in CI timings.
+
+The companion budget test holds the telemetry layer to its contract:
+with tracing disabled, an instrumentation guard is a single boolean
+branch whose cost stays under 2 % of even the smallest instrumented
+unit of real work.
+"""
+
+import json
+import os
+
+from conftest import print_table, run_once
+
+from repro import telemetry
+from repro.campaign import Campaign
+from repro.core import FlowDemand, collapse, rtt_aware_max_min
+from repro.scenario import Scenario, flow
+from repro.scenario.topologies import scale_free
+from repro.telemetry import Stopwatch
+
+MBPS = 1e6
+SOLVER_ROUNDS = 200
+COLLAPSE_ROUNDS = 10
+COLLAPSE_SIZE = 120
+BENCH_PATH = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "BENCH_engine.json")
+
+
+def solver_problem():
+    """24 flows over a two-level tree: enough links to make the
+    progressive filler iterate, small enough to solve in microseconds."""
+    capacities = {}
+    flows = []
+    for client in range(12):
+        access = client                      # one access link per client
+        trunk = 24 + client % 3              # three shared trunks
+        server = 32 + client % 4             # four server uplinks
+        capacities[access] = 50 * MBPS
+        capacities[trunk] = 100 * MBPS
+        capacities[server] = 50 * MBPS
+        rtt = 0.020 + 0.005 * (client % 5)
+        flows.append(FlowDemand(f"up{client}", rtt,
+                                (access, trunk, server),
+                                path_bandwidth=50 * MBPS))
+        flows.append(FlowDemand(f"down{client}", rtt,
+                                (server, trunk, access),
+                                path_bandwidth=50 * MBPS))
+    return flows, capacities
+
+
+def bench_pair(*, rate, seed=0):
+    return (Scenario.build("bench_pair")
+            .service("a").service("b").bridge("s")
+            .link("a", "s", latency="1ms", up=rate)
+            .link("s", "b", latency="1ms", up=rate)
+            .workload(flow("a", "b", key="bulk"))
+            .deploy(machines=2, seed=seed, duration=2.0))
+
+
+def measure_baselines():
+    """All three rates in one pass, counters as the ground truth."""
+    telemetry.disable()
+    telemetry.metrics.clear()
+    telemetry.enable()                      # in-memory tracing
+    try:
+        # The campaign below runs its own (tiny) solves and collapses, so
+        # each stage's rate comes from a counter delta taken right after
+        # that stage — not from the final totals.
+        before = telemetry.metrics.snapshot()
+        flows, capacities = solver_problem()
+        for _ in range(SOLVER_ROUNDS):
+            rtt_aware_max_min(flows, capacities)
+        solver = telemetry.metrics.delta_since(before)
+
+        before = telemetry.metrics.snapshot()
+        topology = scale_free(COLLAPSE_SIZE, seed=11).compile().topology
+        for _ in range(COLLAPSE_ROUNDS):
+            collapse(topology)
+        collapsed = telemetry.metrics.delta_since(before)
+
+        (Campaign("bench")
+         .scenario(bench_pair)
+         .grid(rate=[1e6, 4e6])
+         .seeds(2)
+         .backends("kollaps")
+         .run(jobs=1))
+
+        snapshot = telemetry.metrics.snapshot()
+    finally:
+        telemetry.disable()
+        telemetry.metrics.clear()
+
+    point_hist = snapshot["campaign.point_seconds"]
+    return {
+        "bench": "engine",
+        "solver_flows": int(solver["sharing.solver_flows"]
+                            / solver["sharing.solver_calls"]),
+        "fair_share_solves_per_sec": round(
+            solver["sharing.solver_calls"]
+            / solver["sharing.solver_seconds"], 1),
+        "collapse_containers": COLLAPSE_SIZE,
+        "collapse_pairs": int(collapsed["collapse.pairs"]
+                              / collapsed["collapse.recomputes"]),
+        "collapses_per_sec": round(
+            collapsed["collapse.recomputes"]
+            / collapsed["collapse.seconds"], 1),
+        "campaign_points": int(
+            snapshot["campaign.points"]["value"]),
+        "campaign_points_per_sec_per_worker": round(
+            point_hist["count"] / point_hist["sum"], 2),
+    }
+
+
+def test_engine_baselines(benchmark):
+    results = run_once(benchmark, measure_baselines)
+    print_table("engine baselines (telemetry-derived)",
+                ["metric", "value"],
+                sorted(results.items()))
+
+    # Loose sanity floors: an order of magnitude below any machine this
+    # runs on, so only a real regression (or broken counters) trips them.
+    assert results["fair_share_solves_per_sec"] > 20.0
+    assert results["collapses_per_sec"] > 1.0
+    assert results["campaign_points_per_sec_per_worker"] > 0.05
+    assert results["campaign_points"] == 4          # 2 rates x 2 seeds
+    assert results["solver_flows"] == 24
+    assert results["collapse_pairs"] > 0
+
+    if os.environ.get("REPRO_BENCH_WRITE") == "1":
+        with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+
+
+def test_checked_in_baseline_is_current():
+    """BENCH_engine.json must exist and describe this benchmark's shape
+    (values drift per machine; structure and workload must not)."""
+    with open(BENCH_PATH, encoding="utf-8") as handle:
+        checked_in = json.load(handle)
+    assert checked_in["bench"] == "engine"
+    assert checked_in["campaign_points"] == 4
+    assert checked_in["collapse_containers"] == COLLAPSE_SIZE
+    for key in ("fair_share_solves_per_sec", "collapses_per_sec",
+                "campaign_points_per_sec_per_worker"):
+        assert checked_in[key] > 0
+
+
+def test_disabled_overhead_budget(benchmark):
+    """A disabled telemetry guard costs <2 % of the smallest real unit.
+
+    The guard is ``telemetry.enabled()`` plus a no-op ``span()`` (one
+    branch, shared NullSpan).  The hottest instrumented sites run one
+    guard per fair-share solve / collapse / fluid step, so per-guard
+    cost against one *small* solve bounds every site's overhead.
+    """
+    telemetry.disable()
+    assert not telemetry.enabled()
+
+    probes = 100_000
+
+    def guard_loop():
+        for _ in range(probes):
+            if telemetry.enabled():
+                raise AssertionError("tracing must stay off")
+            telemetry.span("overhead.probe")
+
+    with Stopwatch() as guard_watch:
+        run_once(benchmark, guard_loop)
+    per_guard = guard_watch.elapsed / probes
+
+    flows, capacities = solver_problem()
+    rounds = 50
+    with Stopwatch() as solver_watch:
+        for _ in range(rounds):
+            rtt_aware_max_min(flows, capacities)
+    per_solve = solver_watch.elapsed / rounds
+
+    # Four guards per solve is 4x more than any instrumented site runs.
+    share = (4 * per_guard) / per_solve
+    print_table("disabled-telemetry overhead",
+                ["metric", "value"],
+                [("per-guard cost", f"{per_guard * 1e9:.0f} ns"),
+                 ("per-solve cost", f"{per_solve * 1e6:.1f} us"),
+                 ("share at 4 guards/solve", f"{share * 100:.3f} %")])
+    assert share < 0.02

@@ -26,6 +26,7 @@ import uuid
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.campaign.builder import Campaign, CampaignResult
 from repro.campaign.executor import PointResult
 from repro.campaign.grid import CampaignError, Point
@@ -43,6 +44,8 @@ from repro.campaign.distributed.shards import (
 )
 
 __all__ = ["Coordinator", "FleetEvent", "WorkerState"]
+
+logger = telemetry.get_logger(__name__)
 
 #: How many timeouts of patience heartbeats alone can buy in
 #: :meth:`Coordinator.serve`.  A slow healthy point and a wedged one are
@@ -74,6 +77,10 @@ class FleetEvent:
     count: int = 0
     detail: str = ""
     rows: Tuple[Tuple[str, str, float], ...] = ()
+    #: The worker's telemetry snapshot carried by a heartbeat document
+    #: (None on events that don't ship one) — how the fleet monitor's
+    #: live points/sec and solver-share panels are fed.
+    metrics: Optional[Dict] = None
 
 
 @dataclass
@@ -100,6 +107,12 @@ class WorkerState:
     lease_seq: int = 0
     reader: Optional[ShardReader] = None
     completed: int = 0
+    #: Latest telemetry snapshot shipped in a heartbeat document.
+    metrics: Optional[Dict] = None
+    #: When the executed counter last advanced (coordinator clock):
+    #: records finished then but merge only when the shard is tailed,
+    #: so merge time minus this approximates the shard-merge lag.
+    executed_advanced_at: Optional[float] = None
 
 
 def _headline_rows(record: Dict) -> Tuple[Tuple[str, str, float], ...]:
@@ -167,6 +180,10 @@ class Coordinator:
         #: counts as progressing between merges.
         self._progress = 0
         self._served = False
+        #: Coordinator-side instruments: shard-merge lag and merge
+        #: counts.  Aggregated with the workers' heartbeat snapshots
+        #: into the ``telemetry`` block of ``state.json``.
+        self.metrics = telemetry.MetricsRegistry()
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -370,11 +387,16 @@ class Coordinator:
             executed = int(document.get("executed", 0))
             if executed > state.executed_seen:
                 state.executed_seen = executed
+                state.executed_advanced_at = now
                 self._progress += 1
             state.last_seen = now
+            snapshot = document.get("metrics")
+            if isinstance(snapshot, dict):
+                state.metrics = snapshot
             self.table.heartbeat(worker, now)
             self._notify(FleetEvent(kind="heartbeat", time=now,
-                                    worker=worker, count=seq))
+                                    worker=worker, count=seq,
+                                    metrics=state.metrics))
             if state.status == "joining":
                 # First heartbeat observed: the worker is provably alive
                 # in this run, so it may now compete for a machine.
@@ -399,6 +421,10 @@ class Coordinator:
                         "seq": state.lease_seq + 1 if state else 0})
             if state is not None:
                 state.lease_seq += 1
+            logger.warning(
+                "lease %d of worker %s expired; %d point(s) back in "
+                "the queue", lease.lease_id, lease.worker,
+                len(outstanding))
             self._notify(FleetEvent(
                 kind="expire", time=now, worker=lease.worker,
                 lease_id=lease.lease_id, count=len(outstanding),
@@ -422,6 +448,11 @@ class Coordinator:
                     continue            # duplicate (a zombie's late write)
                 state.completed += 1
                 fresh.append(record)
+                self.metrics.counter("coordinator.merges").inc()
+                if state.executed_advanced_at is not None:
+                    self.metrics.histogram(
+                        "coordinator.merge_lag_seconds").observe(
+                        max(0.0, now - state.executed_advanced_at))
                 self._notify(FleetEvent(
                     kind="merge", time=now, worker=worker, point=point,
                     status=str(record.get("status", "error")),
@@ -431,6 +462,9 @@ class Coordinator:
             # One open + one fsync for the whole batch: the bulk-merge
             # path the per-record append would make O(batch) barriers.
             self.store.append_many(fresh)
+            logger.info("merged %d record(s) into the canonical store "
+                        "(%d/%d complete)", len(fresh),
+                        len(self.table.completed), len(self.points))
 
     # --------------------------------------------------------------- grant
     def _grant(self, now: float) -> None:
@@ -451,6 +485,8 @@ class Coordinator:
                 "points": [self._by_digest[digest].to_dict()
                            for digest in lease.digests],
             })
+            logger.info("granted lease %d to worker %s (%d points)",
+                        lease.lease_id, worker, len(lease.digests))
             self._notify(FleetEvent(kind="lease", time=now, worker=worker,
                                     lease_id=lease.lease_id,
                                     count=len(lease.digests)))
@@ -484,7 +520,26 @@ class Coordinator:
             "total": len(self.points),
             "completed": len(self.table.completed),
             "workers": sorted(self.workers),
+            "telemetry": self.fleet_telemetry(),
         })
+
+    def fleet_telemetry(self) -> Dict:
+        """Fleet-wide metric aggregate plus per-worker snapshots.
+
+        Published with every ``state.json`` so ``campaign status`` and
+        the dashboards read live points/sec and solver-time breakdowns
+        off the shared volume.  Deliberately excluded from the publish
+        change-detection snapshot: telemetry alone never forces an
+        extra fsync on an otherwise idle fleet.
+        """
+        fleet = telemetry.MetricsRegistry()
+        fleet.merge(self.metrics.snapshot())
+        per_worker: Dict[str, Dict] = {}
+        for worker, state in sorted(self.workers.items()):
+            if state.metrics is not None:
+                per_worker[worker] = state.metrics
+                fleet.merge(state.metrics)
+        return {"fleet": fleet.snapshot(), "workers": per_worker}
 
     # ------------------------------------------------------------- queries
     def describe(self) -> str:

@@ -29,6 +29,7 @@ import time
 import uuid
 from typing import Callable, Optional
 
+from repro import telemetry
 from repro.campaign.builder import Campaign
 from repro.campaign.grid import Point
 from repro.campaign.distributed.protocol import (
@@ -39,6 +40,8 @@ from repro.campaign.distributed.protocol import (
 from repro.campaign.distributed.shards import ShardStore
 
 __all__ = ["Worker", "default_worker_id"]
+
+logger = telemetry.get_logger(__name__)
 
 
 def default_worker_id() -> str:
@@ -93,12 +96,20 @@ class Worker:
         self._lease_seq = -1
         self._run_id: Optional[str] = None
         self.executed = 0
+        #: Per-worker instrument bag.  A separate registry (not the
+        #: process-global one) so the local thread-fleet simulation keeps
+        #: each worker's numbers apart; its snapshot rides inside every
+        #: heartbeat document for the coordinator to aggregate.
+        self.metrics = telemetry.MetricsRegistry()
+        self._waiting_since: Optional[float] = None
 
     # ------------------------------------------------------------- plumbing
     def join(self) -> None:
         write_json(self.paths.worker(self.worker_id),
                    {"worker": self.worker_id, "pid": os.getpid(),
                     "campaign": self.campaign.name})
+        logger.info("worker %s joined fleet %s", self.worker_id,
+                    self.paths.directory)
         self._notify(f"worker {self.worker_id}: joined "
                      f"{self.paths.directory}")
 
@@ -110,7 +121,8 @@ class Worker:
             write_json(self.paths.heartbeat(self.worker_id),
                        {"worker": self.worker_id, "boot": self._boot,
                         "seq": self._heartbeat_seq,
-                        "lease_id": lease_id, "executed": self.executed})
+                        "lease_id": lease_id, "executed": self.executed,
+                        "metrics": self.metrics.snapshot()})
 
     def _pulse(self, stop: threading.Event, lease_id: int,
                interval: float) -> None:
@@ -167,6 +179,14 @@ class Worker:
     # ------------------------------------------------------------ execution
     def _execute_lease(self, lease: dict) -> None:
         lease_id = int(lease.get("lease_id", 0))
+        if self._waiting_since is not None:
+            self.metrics.histogram("worker.lease_wait_seconds").observe(
+                self.clock() - self._waiting_since)
+            self._waiting_since = None
+        self.metrics.counter("worker.leases").inc()
+        logger.info("worker %s: lease %d granted (%d points)",
+                    self.worker_id, lease_id,
+                    len(lease.get("points", [])))
         self._notify(f"worker {self.worker_id}: lease {lease_id} "
                      f"({len(lease.get('points', []))} points)")
         # Pulse well inside the lease timeout (the coordinator stamps it
@@ -187,9 +207,14 @@ class Worker:
                         f"{self.executed} points (fault injection)")
                 self.heartbeat(lease_id=lease_id)
                 point = Point.from_dict(data)
-                result = self.campaign.run_point(point)
+                before = telemetry.metrics.snapshot() \
+                    if telemetry.enabled() else None
+                with telemetry.span("worker.point", worker=self.worker_id,
+                                    hash=point.digest()):
+                    result = self.campaign.run_point(point)
                 self.shard.append(result.to_record())
                 self.executed += 1
+                self._record_point(result, before)
                 self.heartbeat(lease_id=lease_id)
                 self._notify(f"worker {self.worker_id}: [{result.status}] "
                              f"{point.describe()} ({result.elapsed:.2f}s)")
@@ -198,6 +223,25 @@ class Worker:
             # worker must not keep its abandoned lease alive.
             stop.set()
             pulse.join()
+            self._waiting_since = self.clock()
+
+    def _record_point(self, result, before: Optional[dict]) -> None:
+        """Fold one finished point into the worker's heartbeat metrics."""
+        self.metrics.counter("worker.points").inc()
+        self.metrics.counter("worker.busy_seconds").inc(result.elapsed)
+        self.metrics.histogram("worker.point_seconds").observe(
+            result.elapsed)
+        if before is not None:
+            # Attribute the *global* solver/collapse counters moved by
+            # this point to this worker — exact for one-process-per-
+            # worker fleets, approximate for the local thread fleet.
+            delta = telemetry.metrics.delta_since(before)
+            for name in ("sharing.solver_seconds", "collapse.seconds",
+                         "sharing.solver_iterations",
+                         "collapse.recomputes"):
+                moved = delta.get(name, 0.0)
+                if moved:
+                    self.metrics.counter("worker." + name).inc(moved)
 
     def run(self, *, poll: float = 0.2,
             timeout: Optional[float] = None) -> int:
@@ -224,6 +268,7 @@ class Worker:
         """
         stale = _state_signature(read_json(self.paths.state))
         self.join()
+        self._waiting_since = self.clock()
         grace = self.stale_done_grace if self.stale_done_grace is not None \
             else max(10.0, 10.0 * poll)
         deadline = None if timeout is None else self.clock() + timeout
@@ -270,7 +315,10 @@ class Worker:
                     continue            # ask immediately for the next one
                 time.sleep(poll)
         except WorkerDied as death:
+            logger.warning("%s", death)
             self._notify(str(death))
+        logger.info("worker %s done (%d points executed)",
+                    self.worker_id, self.executed)
         self._notify(f"worker {self.worker_id}: done "
                      f"({self.executed} points executed)")
         return self.executed

@@ -22,13 +22,13 @@ import importlib.machinery
 import importlib.util
 import pickle
 import sys
-import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from inspect import Parameter, signature
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.campaign.grid import Point
 from repro.campaign.store import RESUMABLE_STATUSES, ResultStore
 from repro.scenario.results import ScenarioRun
@@ -116,11 +116,16 @@ def run_point(factory: Callable, point: Point,
     attributable even when the factory ignores seeding.
     """
     from repro.scenario import BackendCompatibilityError, Scenario
-    started = time.perf_counter()
+    watch = telemetry.Stopwatch()
+    span = telemetry.span("campaign.point", hash=point.digest(),
+                          label=point.label, index=point.index)
 
     def failed(status: str, message: str) -> PointResult:
-        return PointResult(point=point, status=status, error=message,
-                           elapsed=time.perf_counter() - started)
+        span.set(status=status).finish()
+        result = PointResult(point=point, status=status, error=message,
+                             elapsed=watch.stop())
+        _record_point_metrics(result)
+        return result
 
     try:
         kwargs = point.params_dict()
@@ -149,10 +154,22 @@ def run_point(factory: Callable, point: Point,
     except Exception as error:  # noqa: BLE001 — the whole job is capture
         trace = traceback.format_exc(limit=8)
         return failed("error", f"{type(error).__name__}: {error}\n{trace}")
+    span.set(status="ok").finish()
     run = replace(run, params=point.params_dict(),
                   backend=point.label)
-    return PointResult(point=point, status="ok", run=run,
-                       elapsed=time.perf_counter() - started)
+    result = PointResult(point=point, status="ok", run=run,
+                         elapsed=watch.stop())
+    _record_point_metrics(result)
+    return result
+
+
+def _record_point_metrics(result: PointResult) -> None:
+    if not telemetry.enabled():
+        return
+    registry = telemetry.metrics
+    registry.counter("campaign.points").inc()
+    registry.counter(f"campaign.points_{result.status}").inc()
+    registry.histogram("campaign.point_seconds").observe(result.elapsed)
 
 
 # ---------------------------------------------------------------------------
@@ -220,8 +237,12 @@ def resolve_factory(factory: Optional[Callable],
 def _pool_task(factory: Optional[Callable], ref: Optional[FactoryRef],
                point_data: Dict, until: Optional[float]) -> Dict:
     point = Point.from_dict(point_data)
-    return run_point(resolve_factory(factory, ref), point,
-                     until).to_record()
+    record = run_point(resolve_factory(factory, ref), point,
+                       until).to_record()
+    # Pool workers are long-lived: push their span buffer to disk after
+    # every point so a killed worker loses at most the in-flight point.
+    telemetry.flush()
+    return record
 
 
 def _poolable(factory: Callable) -> bool:

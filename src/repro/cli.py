@@ -73,6 +73,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -113,9 +114,23 @@ def _add_description_argument(parser: argparse.ArgumentParser) -> None:
                         "exposing SCENARIO")
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="DIR",
+                        help="record telemetry spans into DIR (one "
+                             "trace-<pid>.jsonl per process; inspect with "
+                             "`repro trace summary DIR`); also settable "
+                             "via the REPRO_TRACE env var")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Kollaps reproduction toolchain")
+    parser.add_argument("-v", "--verbose", dest="log_verbose",
+                        action="count", default=0,
+                        help="log INFO (-v) or DEBUG (-vv) from the repro "
+                             "logger to stderr")
+    parser.add_argument("-q", dest="log_quiet", action="store_true",
+                        help="only log errors")
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run", help="run an emulation experiment")
@@ -138,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "the description's own dynamic events")
     run.add_argument("--snapshot-every", type=float, default=0.0,
                      help="render the dashboard every N simulated seconds")
+    _add_trace_argument(run)
 
     validate = commands.add_parser(
         "validate", help="check a description (and scenario) compiles")
@@ -254,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "supersede stored ones")
     campaign_run.add_argument("--quiet", action="store_true",
                               help="suppress the per-point progress feed")
+    _add_trace_argument(campaign_run)
 
     campaign_status = campaign_commands.add_parser(
         "status", help="compare the store against the campaign grid")
@@ -304,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="re-execute every point")
     campaign_serve.add_argument("--quiet", action="store_true",
                                 help="suppress the fleet event feed")
+    _add_trace_argument(campaign_serve)
 
     campaign_work = campaign_commands.add_parser(
         "work", help="run one fleet worker against a served campaign")
@@ -331,6 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
                                     "after the workers (default: 10; "
                                     "0 trusts it immediately)")
     campaign_work.add_argument("--quiet", action="store_true")
+    _add_trace_argument(campaign_work)
 
     campaign_fleet = campaign_commands.add_parser(
         "fleet", help="simulate a coordinator + N workers locally, or "
@@ -349,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 default=None,
                                 help="emit the compose/k8s fleet document "
                                      "instead of running anything")
+    _add_trace_argument(campaign_fleet)
 
     campaign_compact = campaign_commands.add_parser(
         "compact", help="garbage-collect a store: drop superseded records "
@@ -358,6 +378,40 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="compact even when the fleet state "
                                        "says a coordinator is serving "
                                        "(it crashed)")
+
+    trace = commands.add_parser(
+        "trace", help="inspect telemetry traces recorded with --trace / "
+                      "REPRO_TRACE")
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+
+    def _add_trace_source(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "trace_source",
+            help="a trace directory (reads every trace-*.jsonl in it) or "
+                 "a single trace file")
+
+    trace_export = trace_commands.add_parser(
+        "export", help="convert a trace for external viewers")
+    _add_trace_source(trace_export)
+    trace_export.add_argument("--chrome", action="store_true", default=True,
+                              help="Chrome trace_event JSON for "
+                                   "about:tracing / Perfetto (the default "
+                                   "and currently only format)")
+    trace_export.add_argument("-o", "--output", default=None,
+                              help="write here instead of stdout")
+
+    trace_summary = trace_commands.add_parser(
+        "summary", help="per-layer time shares and per-span aggregates")
+    _add_trace_source(trace_summary)
+    trace_summary.add_argument("--limit", type=int, default=15,
+                               help="span names to list (default: 15; "
+                                    "0 for all)")
+
+    trace_top = trace_commands.add_parser(
+        "top", help="the individually longest spans")
+    _add_trace_source(trace_top)
+    trace_top.add_argument("-n", "--count", type=int, default=20)
     return parser
 
 
@@ -860,6 +914,68 @@ def _command_campaign(args: argparse.Namespace) -> int:
     return handlers[args.campaign_command](args)
 
 
+def _load_trace_or_complain(args: argparse.Namespace):
+    from repro import telemetry
+    try:
+        spans = telemetry.load_trace(args.trace_source)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"cannot read trace {args.trace_source!r}: {error}",
+              file=sys.stderr)
+        return None
+    if not spans:
+        print(f"no spans in {args.trace_source!r} (was the run traced?)",
+              file=sys.stderr)
+        return None
+    return spans
+
+
+def _trace_export(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    spans = _load_trace_or_complain(args)
+    if spans is None:
+        return 1
+    document = telemetry.to_chrome(spans)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.write("\n")
+        print(f"wrote {args.output} ({len(spans)} spans); open it in "
+              "chrome://tracing or https://ui.perfetto.dev",
+              file=sys.stderr)
+    else:
+        print(json.dumps(document))
+    return 0
+
+
+def _trace_summary(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    spans = _load_trace_or_complain(args)
+    if spans is None:
+        return 1
+    summary = telemetry.summarize(spans)
+    print(telemetry.format_summary(
+        summary, limit=args.limit if args.limit > 0 else None))
+    return 0
+
+
+def _trace_top(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    spans = _load_trace_or_complain(args)
+    if spans is None:
+        return 1
+    print(telemetry.format_top(telemetry.top_spans(spans, args.count)))
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "export": _trace_export,
+        "summary": _trace_summary,
+        "top": _trace_top,
+    }
+    return handlers[args.trace_command](args)
+
+
 def _command_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
@@ -872,7 +988,15 @@ def _command_reproduce(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro import telemetry
+
     args = build_parser().parse_args(argv)
+    telemetry.configure_logging(
+        -1 if args.log_quiet else args.log_verbose)
+    if getattr(args, "trace", None):
+        # enable() also exports REPRO_TRACE so campaign pool workers and
+        # fleet subprocesses trace into the same directory.
+        telemetry.enable(args.trace)
     handlers = {
         "run": _command_run,
         "validate": _command_validate,
@@ -880,8 +1004,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenario": _command_scenario,
         "reproduce": _command_reproduce,
         "campaign": _command_campaign,
+        "trace": _command_trace,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # stdout went away mid-print (`repro trace summary | head`):
+        # the reader saw everything it asked for, not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    finally:
+        telemetry.flush()
 
 
 if __name__ == "__main__":

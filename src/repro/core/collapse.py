@@ -22,6 +22,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.core.properties import PathProperties, compose_path
 from repro.topology.model import Link, Topology, TopologyError
 
@@ -90,6 +91,10 @@ def collapse(topology: Topology, *,
     topology affecting its local containers (§3), which this parameter
     models.  With the default, all ordered container pairs are computed.
     """
+    recording = telemetry.enabled()
+    started = telemetry.clock() if recording else 0.0
+    trace = telemetry.span("collapse.all_pairs",
+                           containers=len(topology.container_names()))
     graph = _service_graph(topology)
     containers = topology.container_names()
     container_service = {name: name.split(".")[0] for name in containers}
@@ -128,6 +133,13 @@ def collapse(topology: Topology, *,
                 link_ids=tuple(link.link_id for link in links),
                 node_path=node_path,
             )
+    if recording:
+        registry = telemetry.metrics
+        registry.counter("collapse.recomputes").inc()
+        registry.counter("collapse.pairs").inc(len(paths))
+        registry.counter("collapse.seconds").inc(telemetry.clock() - started)
+        trace.set(pairs=len(paths), services=len(needed_services))
+    trace.finish()
     return CollapsedTopology(topology, paths)
 
 

@@ -13,6 +13,7 @@ import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.core.collapse import CollapsedTopology, collapse
 from repro.topology.events import EventSchedule
 from repro.topology.model import Topology
@@ -37,14 +38,26 @@ class DynamicTopologyPlan:
                  schedule: Optional[EventSchedule] = None) -> None:
         schedule = schedule or EventSchedule()
         self.states: List[TopologyState] = []
-        for time, snapshot in schedule.snapshots(base):
-            self.states.append(TopologyState(
-                time=time,
-                topology=snapshot,
-                collapsed=collapse(snapshot),
-                capacities={link.link_id: link.properties.bandwidth
-                            for link in snapshot.links()},
-            ))
+        trace = telemetry.span("dynamic.precompute")
+        with telemetry.Stopwatch() as watch:
+            for time, snapshot in schedule.snapshots(base):
+                self.states.append(TopologyState(
+                    time=time,
+                    topology=snapshot,
+                    collapsed=collapse(snapshot),
+                    capacities={link.link_id: link.properties.bandwidth
+                                for link in snapshot.links()},
+                ))
+        #: Monotonic seconds spent pre-computing every state's collapse —
+        #: the cost the paper's offline phase pays to make dynamics cheap.
+        self.precompute_seconds = watch.elapsed
+        if telemetry.enabled():
+            telemetry.metrics.counter("dynamic.precompute_seconds").inc(
+                watch.elapsed)
+            telemetry.metrics.counter("dynamic.precompute_states").inc(
+                len(self.states))
+            trace.set(states=len(self.states))
+        trace.finish()
         self._times = [state.time for state in self.states]
 
     def __len__(self) -> int:

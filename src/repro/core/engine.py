@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Tuple
 
+from repro import telemetry
 from repro.cluster import Cluster
 from repro.core.dynamic import DynamicTopologyPlan, TopologyState
 from repro.core.emucore import EmulationCore
@@ -189,15 +190,17 @@ class EmulationEngine:
         installed in every TCAL and manager immediately.
         """
         from repro.core.collapse import collapse as _collapse
-        mutated = self.current_state.topology.copy()
-        event.apply(mutated)
-        state = TopologyState(
-            time=self.sim.now,
-            topology=mutated,
-            collapsed=_collapse(mutated),
-            capacities={link.link_id: link.properties.bandwidth
-                        for link in mutated.links()})
-        self._apply_state(state)
+        with telemetry.span("engine.online_event",
+                            event=type(event).__name__):
+            mutated = self.current_state.topology.copy()
+            event.apply(mutated)
+            state = TopologyState(
+                time=self.sim.now,
+                topology=mutated,
+                collapsed=_collapse(mutated),
+                capacities={link.link_id: link.properties.bandwidth
+                            for link in mutated.links()})
+            self._apply_state(state)
 
     def _needs_wide_ids(self) -> bool:
         for state in self.plan.states:
@@ -230,8 +233,12 @@ class EmulationEngine:
 
     def _apply_state(self, state: TopologyState) -> None:
         """Install a topology snapshot into every TCAL and manager."""
+        trace = telemetry.span("engine.apply_state",
+                               t=round(state.time, 6))
         self.current_state = state
         collapsed = state.collapsed
+        installed = 0
+        removed = 0
         present: Dict[str, set] = {}
         for path in collapsed.paths():
             present.setdefault(path.source, set()).add(path.destination)
@@ -241,6 +248,7 @@ class EmulationEngine:
                 path.destination,
                 latency=properties.latency, jitter=properties.jitter,
                 loss=properties.loss, bandwidth=properties.bandwidth)
+            installed += 1
         # Destinations that no longer exist lose their chains (packets to
         # them are dropped, as with a removed route).
         for container, tcal in self.tcals.items():
@@ -248,8 +256,15 @@ class EmulationEngine:
             for destination in tcal.destinations():
                 if destination not in wanted:
                     tcal.remove_destination(destination)
+                    removed += 1
         for manager in self.managers.values():
             manager.install_state(collapsed, dict(state.capacities))
+        if telemetry.enabled():
+            registry = telemetry.metrics
+            registry.counter("engine.state_swaps").inc()
+            registry.counter("engine.chains_touched").inc(installed + removed)
+            trace.set(installed=installed, removed=removed)
+        trace.finish()
 
     # ------------------------------------------------------------ user API
     def start_flow(self, key: Hashable, source: str, destination: str, *,

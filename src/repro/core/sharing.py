@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro import telemetry
+
 __all__ = ["FlowDemand", "LinkUsage", "rtt_aware_max_min",
            "paper_two_step_shares"]
 
@@ -93,6 +95,9 @@ def rtt_aware_max_min(flows: Sequence[FlowDemand],
     """
     if not flows:
         return {}
+    recording = telemetry.enabled()
+    started = telemetry.clock() if recording else 0.0
+    iterations = 0
     links = _index_links(flows, capacities)
     allocation: Dict[Hashable, float] = {flow.key: 0.0 for flow in flows}
     frozen: Dict[Hashable, bool] = {flow.key: False for flow in flows}
@@ -100,6 +105,7 @@ def rtt_aware_max_min(flows: Sequence[FlowDemand],
                 for flow in flows}
 
     while not all(frozen.values()):
+        iterations += 1
         # Smallest time-step at which either a link saturates or a flow
         # reaches its individual cap.
         step = float("inf")
@@ -146,6 +152,13 @@ def rtt_aware_max_min(flows: Sequence[FlowDemand],
         for flow in flows:
             if allocation[flow.key] >= flow_cap[flow.key] - _EPSILON:
                 frozen[flow.key] = True
+    if recording:
+        registry = telemetry.metrics
+        registry.counter("sharing.solver_calls").inc()
+        registry.counter("sharing.solver_iterations").inc(iterations)
+        registry.counter("sharing.solver_seconds").inc(
+            telemetry.clock() - started)
+        registry.counter("sharing.solver_flows").inc(len(flows))
     return allocation
 
 

@@ -208,7 +208,7 @@ class FleetMonitor:
         self.events: List[str] = []
         self.now = 0.0
         #: worker -> {"status", "machine", "lease", "leased", "done",
-        #:            "last_seen"}
+        #:            "last_seen", "first_seen", "metrics"}
         self.workers: Dict[str, Dict[str, object]] = {}
         #: (backend, workload) -> [count, mean, last delta]
         self.aggregates: Dict[Tuple[str, str], List[float]] = {}
@@ -217,7 +217,8 @@ class FleetMonitor:
     def _worker(self, name: str) -> Dict[str, object]:
         return self.workers.setdefault(
             name, {"status": "?", "machine": "", "lease": None,
-                   "leased": 0, "done": 0, "last_seen": self.now})
+                   "leased": 0, "done": 0, "last_seen": self.now,
+                   "first_seen": self.now, "metrics": None})
 
     def __call__(self, event) -> None:
         kind = event.kind
@@ -245,6 +246,9 @@ class FleetMonitor:
         elif kind == "heartbeat":
             state = self._worker(event.worker)
             state["last_seen"] = self.now
+            snapshot = getattr(event, "metrics", None)
+            if isinstance(snapshot, dict):
+                state["metrics"] = snapshot
             if state["status"] == "suspect":
                 state["status"] = "live"
         elif kind == "merge":
@@ -280,6 +284,68 @@ class FleetMonitor:
         return (f"{workload}@{backend} mean {new_mean:g} "
                 f"({new_mean - mean:+g})")
 
+    # ------------------------------------------------------------ telemetry
+    @staticmethod
+    def _metric(snapshot: Dict, name: str, field: str = "value") -> float:
+        doc = snapshot.get(name)
+        if not isinstance(doc, dict):
+            return 0.0
+        value = doc.get(field, 0.0)
+        return float(value) if value is not None else 0.0
+
+    def worker_telemetry(self, name: str) -> Optional[Dict[str, float]]:
+        """Derived live stats from a worker's latest heartbeat snapshot.
+
+        Returns None until that worker has shipped metrics.  ``rate`` is
+        points completed per second of fleet time since the worker was
+        first seen; ``solver_share``/``collapse_share`` are fractions of
+        the worker's busy seconds spent in the fair-share solver and the
+        collapse respectively (0.0 when tracing was off on the worker).
+        """
+        state = self.workers.get(name)
+        if state is None or not isinstance(state["metrics"], dict):
+            return None
+        snapshot = state["metrics"]
+        points = self._metric(snapshot, "worker.points")
+        busy = self._metric(snapshot, "worker.busy_seconds")
+        alive = max(self.now - float(state["first_seen"]), 1e-9)
+        waits = snapshot.get("worker.lease_wait_seconds", {})
+        wait_count = waits.get("count", 0) if isinstance(waits, dict) else 0
+        wait_sum = waits.get("sum", 0.0) if isinstance(waits, dict) else 0.0
+        return {
+            "points": points,
+            "rate": points / alive,
+            "busy": busy,
+            "solver_share": (self._metric(
+                snapshot, "worker.sharing.solver_seconds") / busy
+                if busy else 0.0),
+            "collapse_share": (self._metric(
+                snapshot, "worker.collapse.seconds") / busy
+                if busy else 0.0),
+            "lease_wait_mean": (wait_sum / wait_count
+                                if wait_count else 0.0),
+        }
+
+    def render_telemetry(self) -> str:
+        """The live points/sec and time-breakdown pane per worker."""
+        rows = []
+        for name in sorted(self.workers):
+            stats = self.worker_telemetry(name)
+            if stats is None:
+                continue
+            breakdown = ""
+            if stats["busy"]:
+                breakdown = (f", solver {stats['solver_share']*100:.0f}% "
+                             f"collapse {stats['collapse_share']*100:.0f}% "
+                             f"of {stats['busy']:.2f}s busy")
+            rows.append(f"  {name}: {int(stats['points'])} points "
+                        f"({stats['rate']:.2f}/s)"
+                        f"{breakdown}, "
+                        f"lease wait {stats['lease_wait_mean']:.2f}s")
+        if not rows:
+            return "telemetry:\n  (no worker metrics yet)"
+        return "telemetry:\n" + "\n".join(rows)
+
     # --------------------------------------------------------------- render
     def render(self, *, width: int = 40) -> str:
         """Progress bar + per-worker lease/heartbeat table + deltas."""
@@ -306,6 +372,9 @@ class FleetMonitor:
                 count, mean, delta = self.aggregates[(backend, workload)]
                 lines.append(f"  {workload}@{backend}: mean {mean:g} "
                              f"over {int(count)} ({delta:+g} on last merge)")
+        if any(isinstance(state.get("metrics"), dict)
+               for state in self.workers.values()):
+            lines.append(self.render_telemetry())
         if self.events:
             lines.append("recent:")
             lines.extend("  " + event for event in self.events[-5:])

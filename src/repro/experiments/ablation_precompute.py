@@ -9,10 +9,10 @@ versus collapsing a large topology from scratch at event time.
 
 from __future__ import annotations
 
-import time
 from typing import Dict
 
 from repro.core import collapse
+from repro.telemetry import Stopwatch
 from repro.core.dynamic import DynamicTopologyPlan
 from repro.experiments.base import ExperimentResult, experiment, scenario_engine
 from repro.scenario.topologies import scale_free
@@ -37,25 +37,23 @@ def compute_results(size: int = SIZE) -> Dict[str, float]:
     schedule = build_schedule(topology)
 
     # Offline pre-computation (what Kollaps does before the run).
-    started = time.perf_counter()
-    plan = DynamicTopologyPlan(topology, schedule)
-    precompute_cost = time.perf_counter() - started
+    with Stopwatch() as precompute:
+        plan = DynamicTopologyPlan(topology, schedule)
 
     # Per-event swap cost at runtime with the plan in hand.
     engine = scenario_engine(topology, schedule, machines=2, seed=17,
                              enforce_bandwidth_sharing=False)
-    started = time.perf_counter()
-    engine.run(until=schedule.horizon() + 0.1)
-    runtime_cost = (time.perf_counter() - started) / len(schedule)
+    with Stopwatch() as runtime:
+        engine.run(until=schedule.horizon() + 0.1)
+    runtime_cost = runtime.elapsed / len(schedule)
 
     # Online alternative: collapse from scratch at event time.
-    started = time.perf_counter()
-    collapse(topology)
-    online_cost = time.perf_counter() - started
+    with Stopwatch() as online:
+        collapse(topology)
 
-    return {"precompute_total": precompute_cost,
+    return {"precompute_total": precompute.elapsed,
             "swap_per_event": runtime_cost,
-            "online_per_event": online_cost,
+            "online_per_event": online.elapsed,
             "states": len(plan),
             "expected_states": len(schedule) + 1}
 

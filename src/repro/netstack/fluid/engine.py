@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
+from repro import telemetry
 from repro.core.collapse import CollapsedTopology, collapse
 from repro.core.sharing import FlowDemand, rtt_aware_max_min
 from repro.netstack.fluid.flow import FluidFlow
@@ -213,6 +214,16 @@ class FluidEngine:
 
     # ------------------------------------------------------------- stepping
     def _step(self) -> None:
+        if telemetry.enabled():
+            with telemetry.span("fluid.step",
+                                flows=len(self.flows)) as trace:
+                self._step_inner()
+                trace.set(t=round(self.sim.now, 6))
+            telemetry.metrics.counter("fluid.steps").inc()
+        else:
+            self._step_inner()
+
+    def _step_inner(self) -> None:
         flows = self.active_flows()
         if not flows:
             self._link_rates = {}

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional, Tuple, Union
 
+from repro import telemetry
 from repro.netstack.plane import BULK_PLANE, PACKET_PLANE, probe_planes
 from repro.topology.model import TopologyError
 
@@ -431,14 +432,22 @@ def execute(compiled, backend: ExecutionBackend,
             until: Optional[float] = None):
     """Drive one backend through the full lifecycle; the one run loop."""
     from repro.scenario.results import ScenarioRun
-    system = backend.prepare(compiled)
+    name = getattr(backend, "name", type(backend).__name__)
+    with telemetry.span("backend.prepare", backend=name,
+                        scenario=compiled.name):
+        system = backend.prepare(compiled)
     horizon = until if until is not None else compiled.default_duration()
     try:
-        backend.start_workloads()
-        backend.advance(horizon)
-        results, metrics = backend.collect(horizon)
+        with telemetry.span("backend.start_workloads", backend=name):
+            backend.start_workloads()
+        with telemetry.span("backend.advance", backend=name,
+                            until=horizon):
+            backend.advance(horizon)
+        with telemetry.span("backend.collect", backend=name):
+            results, metrics = backend.collect(horizon)
     finally:
-        backend.teardown()
+        with telemetry.span("backend.teardown", backend=name):
+            backend.teardown()
     config = getattr(compiled, "config", None)
     return ScenarioRun(engine=system, until=horizon, results=results,
                        backend=getattr(backend, "name",

@@ -1,0 +1,58 @@
+"""Logging setup for the ``repro`` package.
+
+One root logger named ``repro``, configured exactly once from the CLI
+(``-v``/``-vv``/``-q``) or programmatically; every module asks
+:func:`get_logger` for a child (``repro.campaign.distributed.coordinator``
+and friends) so the usual hierarchy and filtering applies.  Nothing here
+touches the *global* root logger — embedding applications keep control.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["configure_logging", "get_logger", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def configure_logging(verbosity: int = 0,
+                      stream: Optional[object] = None) -> logging.Logger:
+    """Install a stream handler on the ``repro`` logger.
+
+    verbosity <= -1 → ERROR, 0 → WARNING, 1 → INFO, >= 2 → DEBUG.
+    Re-configuring replaces the previous telemetry-owned handler rather
+    than stacking duplicates.
+    """
+    if verbosity <= -1:
+        level = logging.ERROR
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_telemetry", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, _DATEFMT))
+    handler._repro_telemetry = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (pass ``__name__``)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(ROOT_LOGGER_NAME + "." + name)

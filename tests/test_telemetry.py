@@ -1,0 +1,407 @@
+"""Unit tests for repro.telemetry: spans, metrics, export, logging."""
+
+import json
+import logging
+import pickle
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_SPAN,
+    Stopwatch,
+    Tracer,
+    configure_logging,
+    format_summary,
+    format_top,
+    get_logger,
+    load_trace,
+    summarize,
+    to_chrome,
+    top_spans,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry(monkeypatch):
+    """Every test starts disabled with a fresh global registry."""
+    monkeypatch.delenv(telemetry.TRACE_ENV_VAR, raising=False)
+    telemetry.disable()
+    telemetry.metrics.clear()
+    yield
+    telemetry.disable()
+    telemetry.metrics.clear()
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as watch:
+            pass
+        assert watch.elapsed >= 0.0
+
+    def test_restart_resets_origin(self):
+        watch = Stopwatch()
+        watch.stop()
+        first = watch.elapsed
+        watch.restart()
+        watch.stop()
+        assert watch.elapsed >= 0.0
+        assert first >= 0.0
+
+
+class TestSpans:
+    def test_disabled_returns_shared_null_span(self):
+        assert not telemetry.enabled()
+        span = telemetry.span("collapse.all_pairs", services=3)
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.set(anything=1).finish()   # full Span surface, no-ops
+
+    def test_enable_records_spans_in_memory(self):
+        telemetry.enable()
+        with telemetry.span("fluid.step", flows=2):
+            pass
+        spans = telemetry.tracer().spans
+        assert len(spans) == 1
+        record = spans[0]
+        assert record["name"] == "fluid.step"
+        assert record["attrs"] == {"flows": 2}
+        assert record["dur"] >= 0.0
+        assert record["parent"] is None
+
+    def test_nesting_links_parents(self):
+        telemetry.enable()
+        with telemetry.span("campaign.point"):
+            with telemetry.span("backend.advance"):
+                with telemetry.span("fluid.step"):
+                    pass
+        spans = {s["name"]: s for s in telemetry.tracer().spans}
+        assert spans["campaign.point"]["parent"] is None
+        assert spans["backend.advance"]["parent"] == \
+            spans["campaign.point"]["id"]
+        assert spans["fluid.step"]["parent"] == spans["backend.advance"]["id"]
+
+    def test_siblings_share_a_parent(self):
+        telemetry.enable()
+        with telemetry.span("campaign.point"):
+            with telemetry.span("backend.prepare"):
+                pass
+            with telemetry.span("backend.advance"):
+                pass
+        spans = {s["name"]: s for s in telemetry.tracer().spans}
+        root = spans["campaign.point"]["id"]
+        assert spans["backend.prepare"]["parent"] == root
+        assert spans["backend.advance"]["parent"] == root
+
+    def test_exception_tags_error_attribute(self):
+        telemetry.enable()
+        with pytest.raises(ValueError):
+            with telemetry.span("backend.collect"):
+                raise ValueError("boom")
+        (record,) = telemetry.tracer().spans
+        assert record["attrs"]["error"] == "ValueError"
+
+    def test_finish_is_idempotent(self):
+        telemetry.enable()
+        span = telemetry.span("engine.apply_state")
+        span.finish()
+        span.finish()
+        assert len(telemetry.tracer().spans) == 1
+
+    def test_leaked_inner_span_does_not_corrupt_parentage(self):
+        telemetry.enable()
+        outer = telemetry.span("campaign.point")
+        telemetry.span("backend.advance")      # leaked: never finished
+        outer.finish()                         # pops through the leak
+        with telemetry.span("campaign.point2"):
+            pass
+        later = telemetry.tracer().spans[-1]
+        assert later["parent"] is None
+
+    def test_keep_bound_drops_excess(self):
+        tracer = Tracer(keep=2)
+        for index in range(5):
+            tracer._finish(tracer.start(f"s{index}", {}))
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_threads_get_independent_stacks(self):
+        telemetry.enable()
+        done = threading.Event()
+
+        def worker():
+            with telemetry.span("worker.point"):
+                pass
+            done.set()
+
+        with telemetry.span("campaign.point"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert done.is_set()
+        spans = {s["name"]: s for s in telemetry.tracer().spans}
+        # The thread's span must NOT be parented under the main thread's.
+        assert spans["worker.point"]["parent"] is None
+
+
+class TestTraceFiles:
+    def test_directory_sink_writes_jsonl(self, tmp_path):
+        tracer = telemetry.enable(str(tmp_path))
+        with telemetry.span("collapse.all_pairs", pairs=6):
+            pass
+        telemetry.flush()
+        path = tracer.path()
+        assert path is not None and path.endswith(".jsonl")
+        lines = [json.loads(line) for line in
+                 open(path, encoding="utf-8") if line.strip()]
+        assert lines[0]["name"] == "collapse.all_pairs"
+        assert lines[0]["attrs"] == {"pairs": 6}
+
+    def test_enable_exports_env_var_for_children(self, tmp_path):
+        import os
+        telemetry.enable(str(tmp_path))
+        assert os.environ[telemetry.TRACE_ENV_VAR] == str(tmp_path)
+        telemetry.disable()
+        assert telemetry.TRACE_ENV_VAR not in os.environ
+
+    def test_load_trace_roundtrip(self, tmp_path):
+        telemetry.enable(str(tmp_path))
+        with telemetry.span("campaign.point"):
+            with telemetry.span("fluid.step"):
+                pass
+        telemetry.flush()
+        telemetry.disable()
+        spans = load_trace(str(tmp_path))
+        assert {s["name"] for s in spans} == {"campaign.point", "fluid.step"}
+
+    def test_load_trace_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(str(tmp_path / "nope"))
+
+    def test_load_trace_bad_json_names_line(self, tmp_path):
+        bad = tmp_path / "trace-1.jsonl"
+        bad.write_text('{"name": "a", "dur": 1.0}\nnot json\n')
+        with pytest.raises(ValueError, match=r"trace-1\.jsonl:2"):
+            load_trace(str(tmp_path))
+
+    def test_non_serialisable_attrs_fall_back_to_repr(self, tmp_path):
+        telemetry.enable(str(tmp_path))
+        with telemetry.span("engine.apply_state", obj=object()):
+            pass
+        telemetry.flush()
+        spans = load_trace(str(tmp_path))
+        assert "object object" in spans[0]["attrs"]["obj"]
+
+
+class TestEnvAutoEnable:
+    def test_memory_values(self, monkeypatch):
+        for value in ("1", "true", "mem"):
+            monkeypatch.setenv(telemetry.TRACE_ENV_VAR, value)
+            telemetry.disable()
+            monkeypatch.setenv(telemetry.TRACE_ENV_VAR, value)
+            telemetry._env_autoenable()
+            assert telemetry.enabled()
+            assert telemetry.tracer().directory is None
+
+    def test_directory_value(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(telemetry.TRACE_ENV_VAR, str(tmp_path))
+        telemetry._env_autoenable()
+        assert telemetry.enabled()
+        assert telemetry.tracer().directory == str(tmp_path)
+
+    def test_falsy_values_stay_off(self, monkeypatch):
+        for value in ("", "0", "false", "off"):
+            monkeypatch.setenv(telemetry.TRACE_ENV_VAR, value)
+            telemetry._env_autoenable()
+            assert not telemetry.enabled()
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("sharing.solver_calls").inc()
+        registry.counter("sharing.solver_calls").inc(2.5)
+        snap = registry.snapshot()
+        assert snap["sharing.solver_calls"] == {"type": "counter",
+                                                "value": 3.5}
+
+    def test_gauge_sets_and_incs(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("fleet.workers")
+        gauge.set(3)
+        gauge.inc(-1)
+        assert registry.snapshot()["fleet.workers"]["value"] == 2.0
+
+    def test_histogram_buckets_and_stats(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("point_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        doc = registry.snapshot()["point_seconds"]
+        assert doc["buckets"] == [0.1, 1.0]
+        assert doc["counts"] == [1, 1, 1]      # +inf overflow bucket
+        assert doc["count"] == 3
+        assert doc["sum"] == pytest.approx(5.55)
+        assert doc["min"] == 0.05 and doc["max"] == 5.0
+        assert hist.mean == pytest.approx(5.55 / 3)
+
+    def test_snapshot_is_name_sorted_and_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("zulu").inc()
+        registry.counter("alpha").inc()
+        registry.histogram("mid").observe(0.2)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        assert pickle.loads(pickle.dumps(snap)) == snap
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("thing")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.histogram("thing")
+
+    def test_merge_adds_counters_and_histograms(self):
+        worker_a, worker_b = MetricsRegistry(), MetricsRegistry()
+        for registry, n in ((worker_a, 2), (worker_b, 3)):
+            registry.counter("worker.points").inc(n)
+            registry.gauge("worker.queue").set(n)
+            registry.histogram("worker.point_seconds").observe(float(n))
+        fleet = MetricsRegistry()
+        fleet.merge(worker_a.snapshot())
+        fleet.merge(worker_b.snapshot())
+        snap = fleet.snapshot()
+        assert snap["worker.points"]["value"] == 5.0
+        assert snap["worker.queue"]["value"] == 3.0      # last writer wins
+        hist = snap["worker.point_seconds"]
+        assert hist["count"] == 2
+        assert hist["sum"] == 5.0
+        assert hist["min"] == 2.0 and hist["max"] == 3.0
+
+    def test_merge_then_snapshot_equals_sum(self):
+        left = MetricsRegistry()
+        left.counter("c").inc(1)
+        merged = MetricsRegistry()
+        merged.merge(left.snapshot())
+        merged.merge(left.snapshot())
+        assert merged.snapshot()["c"]["value"] == 2.0
+
+    def test_delta_since_counters_only(self):
+        registry = MetricsRegistry()
+        registry.counter("sharing.solver_seconds").inc(1.0)
+        registry.gauge("queue").set(9)
+        before = registry.snapshot()
+        registry.counter("sharing.solver_seconds").inc(0.5)
+        registry.counter("collapse.recomputes").inc(2)
+        delta = registry.delta_since(before)
+        assert delta["sharing.solver_seconds"] == pytest.approx(0.5)
+        assert delta["collapse.recomputes"] == 2.0
+        assert "queue" not in delta
+
+    def test_default_buckets_cover_engine_scales(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001        # one fluid step
+        assert DEFAULT_BUCKETS[-1] >= 300.0       # a long campaign point
+
+    def test_clear_empties_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.clear()
+        assert registry.snapshot() == {}
+
+
+def _span(name, span_id, parent=None, start=0.0, dur=1.0,
+          pid=1, tid=1, **attrs):
+    record = {"name": name, "id": span_id, "parent": parent,
+              "start": start, "dur": dur, "cpu": dur, "pid": pid, "tid": tid}
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+class TestExport:
+    def test_to_chrome_complete_events(self):
+        doc = to_chrome([_span("campaign.point", 1, dur=2.0, label="x")])
+        (event,) = doc["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["dur"] == pytest.approx(2e6)   # microseconds
+        assert event["cat"] == "campaign"
+        assert event["args"] == {"label": "x"}
+        json.dumps(doc)                             # must serialise
+
+    def test_summarize_self_time_excludes_children(self):
+        spans = [
+            _span("campaign.point", 1, dur=10.0),
+            _span("backend.advance", 2, parent=1, dur=8.0),
+            _span("fluid.step", 3, parent=2, dur=6.0),
+        ]
+        summary = summarize(spans)
+        assert summary["spans"] == 3
+        assert summary["root_seconds"] == pytest.approx(10.0)
+        assert summary["self_seconds"] == pytest.approx(10.0)
+        layers = summary["layers"]
+        assert layers["fluid"]["self"] == pytest.approx(6.0)
+        assert layers["backend"]["self"] == pytest.approx(2.0)
+        assert layers["campaign"]["self"] == pytest.approx(2.0)
+        assert sum(doc["share"] for doc in layers.values()) \
+            == pytest.approx(1.0)
+
+    def test_summarize_keys_children_per_pid_tid(self):
+        # Same ids in two processes must not cross-attribute self time.
+        spans = [
+            _span("campaign.point", 1, dur=4.0, pid=1),
+            _span("campaign.point", 1, dur=4.0, pid=2),
+            _span("fluid.step", 2, parent=1, dur=3.0, pid=1),
+        ]
+        summary = summarize(spans)
+        assert summary["layers"]["campaign"]["self"] == pytest.approx(5.0)
+
+    def test_top_spans_ranked_by_duration(self):
+        spans = [_span("a.x", 1, dur=1.0), _span("b.y", 2, dur=3.0),
+                 _span("c.z", 3, dur=2.0)]
+        assert [s["name"] for s in top_spans(spans, 2)] == ["b.y", "c.z"]
+
+    def test_format_summary_and_top_render(self):
+        spans = [_span("campaign.point", 1, dur=1.0, status="ok")]
+        text = format_summary(summarize(spans))
+        assert "layer shares" in text and "campaign.point" in text
+        top = format_top(top_spans(spans))
+        assert "campaign.point" in top and "status=ok" in top
+
+    def test_summarize_empty_trace(self):
+        summary = summarize([])
+        assert summary["spans"] == 0
+        assert summary["layers"] == {}
+        format_summary(summary)                     # must not divide by zero
+
+
+class TestLogging:
+    def test_verbosity_levels(self):
+        assert configure_logging(-1).level == logging.ERROR
+        assert configure_logging(0).level == logging.WARNING
+        assert configure_logging(1).level == logging.INFO
+        assert configure_logging(2).level == logging.DEBUG
+
+    def test_reconfigure_replaces_handler(self):
+        logger = configure_logging(1)
+        configure_logging(2)
+        owned = [h for h in logger.handlers
+                 if getattr(h, "_repro_telemetry", False)]
+        assert len(owned) == 1
+
+    def test_get_logger_prefixes_repro(self):
+        assert get_logger("campaign.worker").name == "repro.campaign.worker"
+        assert get_logger("repro.core").name == "repro.core"
+        assert get_logger("repro").name == "repro"
+
+    def test_messages_reach_stream(self):
+        import io
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        get_logger("test_telemetry").info("lease granted")
+        assert "lease granted" in stream.getvalue()
+        assert "repro.test_telemetry" in stream.getvalue()

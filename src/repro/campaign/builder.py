@@ -315,8 +315,13 @@ class Campaign:
         ``store`` is a campaigns root directory (the campaign writes under
         ``<store>/<name>/``), a ready :class:`ResultStore`, or None for a
         purely in-memory run.  ``resume=False`` re-executes every point
-        (new records supersede old ones in the store).
+        (new records supersede old ones in the store) and also drops the
+        in-process collapse memo, so a ``--fresh`` run measures cold-path
+        costs rather than inheriting cached shortest paths.
         """
+        if not resume:
+            from repro.core.collapse import clear_collapse_cache
+            clear_collapse_cache()
         points = self.points()
         store_obj = self._store(store)
         if store_obj is not None:

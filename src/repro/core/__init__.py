@@ -22,12 +22,21 @@ CLI, examples and experiment runners all use.
 """
 
 from repro.core.properties import PathProperties, compose_path
-from repro.core.collapse import CollapsedPath, CollapsedTopology, collapse
+from repro.core.collapse import (
+    CollapsedPath,
+    CollapsedTopology,
+    clear_collapse_cache,
+    collapse,
+    collapse_cache_stats,
+    topology_signature,
+)
 from repro.core.sharing import (
     FlowDemand,
     LinkUsage,
     paper_two_step_shares,
     rtt_aware_max_min,
+    set_solver_backend,
+    solver_backend,
 )
 from repro.core.congestion import combine_loss, congestion_loss
 from repro.core.dynamic import DynamicTopologyPlan, TopologyState
@@ -41,10 +50,15 @@ __all__ = [
     "CollapsedPath",
     "CollapsedTopology",
     "collapse",
+    "clear_collapse_cache",
+    "collapse_cache_stats",
+    "topology_signature",
     "FlowDemand",
     "LinkUsage",
     "rtt_aware_max_min",
     "paper_two_step_shares",
+    "solver_backend",
+    "set_solver_backend",
     "congestion_loss",
     "combine_loss",
     "DynamicTopologyPlan",

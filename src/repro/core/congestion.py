@@ -38,7 +38,13 @@ def congestion_loss(demand: float, share: float, *,
 
 
 def combine_loss(*probabilities: float) -> float:
-    """Combine independent loss probabilities (complement product)."""
+    """Combine independent loss probabilities (complement product).
+
+    Each argument is a probability in [0, 1] (values outside are clamped);
+    the result is again a probability.  Order-independent up to float
+    associativity, so callers must pass a deterministic argument order for
+    bit-identical results across managers.
+    """
     delivery = 1.0
     for probability in probabilities:
         delivery *= 1.0 - min(1.0, max(0.0, probability))

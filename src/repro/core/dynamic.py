@@ -5,6 +5,15 @@ graphs but seconds for thousands of nodes, which would preclude sub-second
 dynamics.  Kollaps therefore pre-computes, before the experiment starts, the
 ordered sequence of graph states together with *all* derived metadata: the
 collapsed topology and the per-link capacity map for each state.
+
+Pre-computation is incremental through the collapse memo
+(:mod:`repro.core.collapse`): an event that only changes link capacities
+keeps the previous state's shortest paths and merely re-composes end-to-end
+properties, an event that restores an earlier structure (a flap healing) is
+a cache hit, and only events that change the routing inputs — latencies,
+link ids, nodes — pay for fresh Dijkstra runs.  Links whose flow membership
+is unaffected therefore never trigger recomputation, and repeated campaign
+points over near-identical graphs share the whole table.
 """
 
 from __future__ import annotations

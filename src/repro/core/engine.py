@@ -25,6 +25,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro import telemetry
 from repro.cluster import Cluster
+from repro.core.collapse import collapse
 from repro.core.dynamic import DynamicTopologyPlan, TopologyState
 from repro.core.emucore import EmulationCore
 from repro.core.manager import EmulationManager
@@ -186,10 +187,13 @@ class EmulationEngine:
 
         Unlike the pre-computed plan this recomputes the collapse at event
         time — exact but slow for large graphs, which is the accuracy/
-        interactivity trade-off the paper describes.  The new state is
+        interactivity trade-off the paper describes.  The collapse memo
+        softens it considerably: a capacity-only event re-composes path
+        properties over the cached shortest paths instead of re-running
+        Dijkstra, and an event that restores an earlier structure (a link
+        flapping back up) is a straight cache hit.  The new state is
         installed in every TCAL and manager immediately.
         """
-        from repro.core.collapse import collapse as _collapse
         with telemetry.span("engine.online_event",
                             event=type(event).__name__):
             mutated = self.current_state.topology.copy()
@@ -197,7 +201,7 @@ class EmulationEngine:
             state = TopologyState(
                 time=self.sim.now,
                 topology=mutated,
-                collapsed=_collapse(mutated),
+                collapsed=collapse(mutated),
                 capacities={link.link_id: link.properties.bandwidth
                             for link in mutated.links()})
             self._apply_state(state)

@@ -240,6 +240,14 @@ class EmulationManager:
         The enforced share is the maximum of the two: the floor guarantees
         fairness, the redistribution pass grants more when contention is
         only nominal.
+
+        Both passes share one solver structure — same flows, links and
+        capacities, only demands differ — so the vectorized backend reuses
+        its link×flow membership matrix across them (and across loop
+        iterations while the topology epoch holds).  When every estimated
+        demand is infinite (all local flows saturate their htb and remote
+        flows report saturation), the second pass would be identical to the
+        first and is skipped outright.
         """
         demands: List[FlowDemand] = []
         wants_all: List[FlowDemand] = []
@@ -262,7 +270,10 @@ class EmulationManager:
                 demand=float("inf"),
                 path_bandwidth=forward.properties.bandwidth))
         floor = rtt_aware_max_min(wants_all, self.capacities)
-        boosted = rtt_aware_max_min(demands, self.capacities)
+        if any(demand.demand != float("inf") for demand in demands):
+            boosted = rtt_aware_max_min(demands, self.capacities)
+        else:
+            boosted = floor
         allocation = {key: max(floor.get(key, 0.0), boosted.get(key, 0.0))
                       for key in usage_rates}
         return allocation, usage_rates

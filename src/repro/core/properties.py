@@ -49,7 +49,15 @@ _EMPTY = PathProperties(latency=0.0, jitter=0.0, loss=0.0,
 
 
 def compose_path(links: Sequence[LinkProperties]) -> PathProperties:
-    """Collapse a sequence of link properties into end-to-end properties."""
+    """Collapse a sequence of link properties into end-to-end properties.
+
+    Inputs and outputs are SI base units: latency/jitter in seconds,
+    bandwidth in bits/s, loss a probability in [0, 1].  One pass over the
+    links (``O(n)``), pure float arithmetic, no rounding — identical input
+    sequences produce bit-identical results, which the collapse memo's
+    incremental tier relies on (it must reproduce a full recompute
+    exactly; see :mod:`repro.core.collapse`).
+    """
     latency = 0.0
     jitter_variance = 0.0
     delivery = 1.0

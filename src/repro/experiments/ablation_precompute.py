@@ -47,9 +47,11 @@ def compute_results(size: int = SIZE) -> Dict[str, float]:
         engine.run(until=schedule.horizon() + 0.1)
     runtime_cost = runtime.elapsed / len(schedule)
 
-    # Online alternative: collapse from scratch at event time.
+    # Online alternative: collapse from scratch at event time.  The memo
+    # must be bypassed — the plan above already collapsed this topology,
+    # and a cache hit would measure a dict lookup, not the ablated cost.
     with Stopwatch() as online:
-        collapse(topology)
+        collapse(topology, memo=False)
 
     return {"precompute_total": precompute.elapsed,
             "swap_per_event": runtime_cost,
